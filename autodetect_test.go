@@ -1,0 +1,113 @@
+package autodetect
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+var (
+	modelOnce sync.Once
+	model     *Model
+	modelErr  error
+)
+
+func sharedModel(t testing.TB) *Model {
+	t.Helper()
+	modelOnce.Do(func() {
+		cols, err := GenerateColumns(ProfileWeb, 4000, 42)
+		if err != nil {
+			modelErr = err
+			return
+		}
+		cfg := DefaultConfig()
+		cfg.TrainingPairs = 4000
+		model, modelErr = Train(cols, cfg)
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return model
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, DefaultConfig()); err == nil {
+		t.Error("empty corpus should error")
+	}
+	if _, err := Train([][]string{{"a"}}, DefaultConfig()); err == nil {
+		t.Error("one column should error")
+	}
+}
+
+func TestGenerateColumns(t *testing.T) {
+	for _, p := range []CorpusProfile{ProfileWeb, ProfileSpreadsheet, ProfileWiki, ProfileEnterprise} {
+		cols, err := GenerateColumns(p, 50, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(cols) != 50 {
+			t.Fatalf("%s: %d columns", p, len(cols))
+		}
+	}
+	if _, err := GenerateColumns("nope", 10, 1); err == nil {
+		t.Error("unknown profile should error")
+	}
+}
+
+func TestModelEndToEnd(t *testing.T) {
+	m := sharedModel(t)
+	if len(m.Languages()) == 0 {
+		t.Fatal("no languages selected")
+	}
+	if m.Bytes() <= 0 {
+		t.Error("zero model size")
+	}
+	if m.Stats() == "" {
+		t.Error("empty stats summary")
+	}
+
+	findings := m.DetectColumn([]string{
+		"2011-01-01", "2012-05-14", "2013-11-30", "2014-02-07", "2011/06/20",
+	})
+	if len(findings) == 0 || findings[0].Value != "2011/06/20" {
+		t.Errorf("findings = %+v, want the slash date on top", findings)
+	}
+	if f := findings[0]; f.Index != 4 || f.Partner == "" || f.Confidence <= 0.5 {
+		t.Errorf("finding fields: %+v", findings[0])
+	}
+
+	v := m.ScorePair("2011-01-01", "2011/01/01")
+	if !v.Incompatible {
+		t.Errorf("mixed dates not flagged: %+v", v)
+	}
+	ok := m.ScorePair("2011-01-01", "1999-12-31")
+	if ok.Incompatible {
+		t.Errorf("same-format dates flagged: %+v", ok)
+	}
+}
+
+func TestModelSaveLoad(t *testing.T) {
+	m := sharedModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.ScorePair("3-2", "-")
+	b := back.ScorePair("3-2", "-")
+	if a != b {
+		t.Errorf("verdicts differ after round trip: %+v vs %+v", a, b)
+	}
+	if back.Stats() == "" {
+		t.Error("loaded model has empty stats")
+	}
+}
+
+func TestLanguages144(t *testing.T) {
+	if got := len(Languages144()); got != 144 {
+		t.Errorf("Languages144 = %d entries", got)
+	}
+}

@@ -1,0 +1,227 @@
+package autodetect
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section (see DESIGN.md §4). Each benchmark regenerates its
+// artifact at the small scale and reports the headline metric via
+// b.ReportMetric; run cmd/experiments for the full-scale tables behind
+// EXPERIMENTS.md.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *eval.Suite
+)
+
+// suite returns the shared small-scale experiment suite; the expensive
+// pieces (training corpus, statistics, calibrations, detector, test cases)
+// are built once and cached inside it.
+func suite(b *testing.B) *eval.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite = eval.NewSuite(eval.SmallScale(), 1)
+	})
+	return benchSuite
+}
+
+// metric extracts a cell from a table row by method name and column.
+func metric(tab *eval.Table, rowKey string, col int) float64 {
+	for _, row := range tab.Rows {
+		if row[0] == rowKey {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+func BenchmarkTable3CorporaSummary(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		tab := s.Table3()
+		if len(tab.Rows) != 4 {
+			b.Fatal("bad Table 3")
+		}
+	}
+}
+
+func BenchmarkFigure4aWikiPrecision(b *testing.B) {
+	s := suite(b)
+	var last *eval.Table
+	for i := 0; i < b.N; i++ {
+		tab, err := s.Figure4a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tab
+	}
+	b.ReportMetric(metric(last, "Auto-Detect", 1), "autodetect-p@k")
+	b.ReportMetric(metric(last, "PWheel", 1), "pwheel-p@k")
+}
+
+func BenchmarkFigure4bCSVPrecision(b *testing.B) {
+	s := suite(b)
+	var last *eval.Table
+	for i := 0; i < b.N; i++ {
+		tab, err := s.Figure4b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tab
+	}
+	b.ReportMetric(metric(last, "Auto-Detect", 1), "autodetect-p@10")
+	b.ReportMetric(metric(last, "F-Regex", 1), "fregex-p@10")
+}
+
+func BenchmarkTable4TopPredictions(b *testing.B) {
+	s := suite(b)
+	var last *eval.Table
+	for i := 0; i < b.N; i++ {
+		tab, err := s.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tab
+	}
+	correct := 0.0
+	for _, row := range last.Rows {
+		if row[4] == "true" {
+			correct++
+		}
+	}
+	b.ReportMetric(correct/float64(len(last.Rows)), "top10-precision")
+}
+
+func BenchmarkFigure5WikiAutoEval(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := s.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty Figure 5")
+		}
+	}
+}
+
+func BenchmarkFigure6EntXLSAutoEval(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := s.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty Figure 6")
+		}
+	}
+}
+
+func BenchmarkFigure7MemoryBudget(b *testing.B) {
+	s := suite(b)
+	var last *eval.Table
+	for i := 0; i < b.N; i++ {
+		tab, err := s.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tab
+	}
+	if n := len(last.Rows); n > 0 {
+		// Languages selected at the smallest and largest budget.
+		small, _ := strconv.ParseFloat(last.Rows[0][1], 64)
+		large, _ := strconv.ParseFloat(last.Rows[n-1][1], 64)
+		b.ReportMetric(small, "langs-min-budget")
+		b.ReportMetric(large, "langs-max-budget")
+	}
+}
+
+func BenchmarkFigure8aSketchCompression(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := s.Figure8a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) != 3 {
+			b.Fatal("bad Figure 8a")
+		}
+	}
+}
+
+func BenchmarkFigure8bAggregation(b *testing.B) {
+	s := suite(b)
+	var last *eval.Table
+	for i := 0; i < b.N; i++ {
+		tab, err := s.Figure8b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tab
+	}
+	b.ReportMetric(metric(last, "Auto-Detect", 1), "maxconf-p@k")
+	b.ReportMetric(metric(last, "MV", 1), "mv-p@k")
+}
+
+func BenchmarkFigure8cTrainingCorpora(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := s.Figure8c()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) != 2 {
+			b.Fatal("bad Figure 8c")
+		}
+	}
+}
+
+func BenchmarkTable5RunningTime(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := s.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) != 5 {
+			b.Fatal("bad Table 5")
+		}
+	}
+}
+
+func BenchmarkFigure17aSmoothing(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := s.Figure17a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty Figure 17a")
+		}
+	}
+}
+
+func BenchmarkFigure17bNPMICDF(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := s.Figure17b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) != 2 {
+			b.Fatal("bad Figure 17b")
+		}
+	}
+}

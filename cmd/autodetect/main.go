@@ -1,0 +1,395 @@
+// Command autodetect trains Auto-Detect models and detects errors in CSV
+// files.
+//
+// Train a model on a synthetic web-table corpus (or your own CSV corpus)
+// and save it:
+//
+//	autodetect train -profile web -columns 20000 -out model.bin
+//	autodetect train -corpus mytables.csv -out model.bin
+//
+// Detect errors in the columns of a CSV file:
+//
+//	autodetect detect -model model.bin -in data.csv
+//
+// Score a single pair of values:
+//
+//	autodetect pair -model model.bin "2011-01-01" "2011/01/01"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/distsup"
+	"repro/internal/eval"
+	"repro/internal/profile"
+	"repro/internal/repair"
+	"repro/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "detect":
+		err = cmdDetect(os.Args[2:])
+	case "pair":
+		err = cmdPair(os.Args[2:])
+	case "baselines":
+		err = cmdBaselines(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autodetect:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  autodetect train  -out model.bin [-profile web|spreadsheet] [-columns N] [-corpus file.csv] [-pairs N] [-budget MB] [-precision P] [-seed N]
+  autodetect detect -model model.bin -in data.csv [-header] [-min-confidence P]
+  autodetect pair   -model model.bin VALUE1 VALUE2
+  autodetect baselines -in data.csv [-header]
+  autodetect eval   -model model.bin -in corpus.csv -labels labels.tsv [-k 10,50,100]
+  autodetect profile -in data.csv [-header]`)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	out := fs.String("out", "model.bin", "output model path")
+	profile := fs.String("profile", "web", "synthetic corpus profile (web|spreadsheet)")
+	columns := fs.Int("columns", 20000, "synthetic corpus size")
+	corpusPath := fs.String("corpus", "", "train on the columns of this CSV instead of a synthetic corpus")
+	pairs := fs.Int("pairs", 20000, "distant-supervision pairs per class")
+	budget := fs.Int("budget", 64, "memory budget in MB")
+	precision := fs.Float64("precision", 0.95, "target precision P")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var c *corpus.Corpus
+	if *corpusPath != "" {
+		f, err := os.Open(*corpusPath)
+		if err != nil {
+			return err
+		}
+		cols, err := corpus.ReadCSV(f, true)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		c = &corpus.Corpus{Name: *corpusPath, Columns: cols}
+	} else {
+		var p corpus.Profile
+		switch *profile {
+		case "web":
+			p = corpus.WebProfile()
+		case "spreadsheet":
+			p = corpus.PubXLSProfile()
+		default:
+			return fmt.Errorf("unknown profile %q", *profile)
+		}
+		fmt.Printf("generating %d synthetic %s columns...\n", *columns, p.Name)
+		c = corpus.Generate(p, *columns, *seed)
+	}
+
+	cfg := core.DefaultTrainConfig()
+	cfg.TargetPrecision = *precision
+	cfg.MemoryBudget = *budget << 20
+	ds := distsup.DefaultConfig()
+	ds.PositivePairs = *pairs
+	ds.NegativePairs = *pairs
+	ds.Seed = *seed
+	cfg.DistSup = ds
+
+	fmt.Printf("training on %d columns (%d candidate languages)...\n", c.NumColumns(), 144)
+	var det *core.Detector
+	var rep *core.TrainReport
+	var err error
+	if c.NumColumns() > 15000 {
+		// Large corpora: bound peak memory with batched training.
+		det, rep, err = core.TrainBatched(c, cfg, 16)
+	} else {
+		det, rep, err = core.Train(c, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("selected %d languages, %d bytes of statistics, coverage %d/%d negatives\n",
+		len(rep.Selected), rep.SelectedBytes, rep.Coverage, rep.TrainingExamples/2)
+	for _, l := range rep.Selected {
+		fmt.Printf("  %v\n", l)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := det.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("model written to %s\n", *out)
+	return nil
+}
+
+func loadModel(path string) (*core.Detector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.Load(f)
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	modelPath := fs.String("model", "model.bin", "trained model path")
+	in := fs.String("in", "", "input CSV file")
+	header := fs.Bool("header", true, "first CSV row is a header")
+	minConf := fs.Float64("min-confidence", 0.9, "report findings at or above this confidence")
+	htmlOut := fs.String("html", "", "also write an HTML audit report to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in")
+	}
+	det, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	cols, err := corpus.ReadCSV(f, *header)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	rep := &report.Report{
+		Title: "Auto-Detect audit of " + *in,
+		ModelSummary: fmt.Sprintf("%d languages, %.1f MB statistics",
+			len(det.Languages()), float64(det.Bytes())/(1<<20)),
+	}
+	found := 0
+	for _, col := range cols {
+		perRow := map[int]report.Finding{}
+		for _, finding := range det.DetectColumn(col.Values) {
+			if finding.Confidence < *minConf {
+				continue
+			}
+			found++
+			rf := report.Finding{
+				Partner: finding.Partner, Confidence: finding.Confidence, Kind: "pattern",
+			}
+			line := fmt.Sprintf("%s: row %d: %q conflicts with %q (confidence %.3f)",
+				col.Name, finding.Index+boolToInt(*header), finding.Value, finding.Partner, finding.Confidence)
+			if sug, ok := repair.Suggest(col.Values, finding.Value); ok {
+				rf.Suggestion = sug.Proposed
+				line += fmt.Sprintf(" — suggest %q (%s)", sug.Proposed, sug.Rule)
+			}
+			perRow[finding.Index] = rf
+			fmt.Println(line)
+		}
+		rep.AddColumn(col.Name, col.Values, perRow)
+	}
+	fmt.Printf("%d findings across %d columns\n", found, len(cols))
+	if *htmlOut != "" {
+		hf, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		defer hf.Close()
+		if err := rep.Render(hf); err != nil {
+			return err
+		}
+		fmt.Printf("HTML report written to %s\n", *htmlOut)
+	}
+	return nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cmdPair(args []string) error {
+	fs := flag.NewFlagSet("pair", flag.ExitOnError)
+	modelPath := fs.String("model", "model.bin", "trained model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("need exactly two values")
+	}
+	det, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	ps := det.ScorePair(fs.Arg(0), fs.Arg(1))
+	fmt.Printf("incompatible=%v confidence=%.3f\n", ps.Flagged, ps.Confidence)
+	for _, l := range ps.ByLanguage {
+		fmt.Printf("  language %3d: NPMI %+6.3f fires=%v precision=%.3f\n",
+			l.LanguageID, l.NPMI, l.Fires, l.Precision)
+	}
+	return nil
+}
+
+// cmdEval scores a model against a labeled corpus: a CSV of columns (as
+// written by corpusgen) plus a ground-truth file of "column<TAB>row<TAB>value"
+// lines. It reports pooled precision@k.
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	modelPath := fs.String("model", "model.bin", "trained model path")
+	in := fs.String("in", "", "labeled corpus CSV")
+	labelsPath := fs.String("labels", "", "ground-truth TSV (column, row, value)")
+	kList := fs.String("k", "10,50,100", "comma-separated precision@k cut-offs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *labelsPath == "" {
+		return fmt.Errorf("need -in and -labels")
+	}
+	det, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	cols, err := corpus.ReadCSV(f, true)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	lf, err := os.Open(*labelsPath)
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	for i := range cols {
+		cols[i].Dirty = []int{}
+	}
+	sc := bufio.NewScanner(lf)
+	for sc.Scan() {
+		var ci, ri int
+		var v string
+		parts := strings.SplitN(sc.Text(), "\t", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		if _, err := fmt.Sscanf(parts[0]+" "+parts[1], "%d %d", &ci, &ri); err != nil {
+			continue
+		}
+		v = parts[2]
+		if ci < 0 || ci >= len(cols) || ri < 0 || ri >= len(cols[ci].Values) {
+			return fmt.Errorf("label out of range: %s", sc.Text())
+		}
+		if cols[ci].Values[ri] != v {
+			return fmt.Errorf("label mismatch at column %d row %d: corpus has %q, labels say %q",
+				ci, ri, cols[ci].Values[ri], v)
+		}
+		cols[ci].Dirty = append(cols[ci].Dirty, ri)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	var ks []int
+	for _, s := range strings.Split(*kList, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || k <= 0 {
+			return fmt.Errorf("bad -k entry %q", s)
+		}
+		ks = append(ks, k)
+	}
+	r := eval.EvaluateCorpus(&baselines.AutoDetect{Det: det}, cols, ks)
+	fmt.Printf("pooled predictions: %d (correct %d)\n", r.Predictions, r.Correct)
+	for _, k := range ks {
+		fmt.Printf("precision@%d = %.3f\n", k, r.PrecisionAt[k])
+	}
+	return nil
+}
+
+// cmdProfile prints Trifacta-style column profiles (shape, length and
+// character-class distributions) for every column of a CSV.
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV file")
+	header := fs.Bool("header", true, "first CSV row is a header")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	cols, err := corpus.ReadCSV(f, *header)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	for _, col := range cols {
+		fmt.Printf("== %s ==\n%s\n", col.Name, profile.Column(col.Values))
+	}
+	return nil
+}
+
+func cmdBaselines(args []string) error {
+	fs := flag.NewFlagSet("baselines", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV file")
+	header := fs.Bool("header", true, "first CSV row is a header")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	cols, err := corpus.ReadCSV(f, *header)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	for _, col := range cols {
+		for _, det := range baselines.All() {
+			preds := det.Detect(col.Values)
+			if len(preds) == 0 {
+				continue
+			}
+			fmt.Printf("%s: %s flags %q (confidence %.3f)\n",
+				col.Name, det.Name(), preds[0].Value, preds[0].Confidence)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+// Command autodetectd serves a trained Auto-Detect model over HTTP — the
+// "spell-checker for data" deployment mode.
+//
+//	autodetectd -model model.bin -addr :8080
+//	autodetectd -train -columns 10000 -addr :8080    # train in-process first
+//
+// Endpoints:
+//
+//	GET  /v1/health
+//	POST /v1/check-column  {"values": ["2011-01-01", "2011/01/01", ...]}
+//	POST /v1/check-table   {"columns": {"date": [...], "amount": [...]}}
+//	POST /v1/check-pair    {"a": "72 kg", "b": "154 lbs"}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/distsup"
+	"repro/internal/semantic"
+	"repro/internal/service"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "trained model path (see cmd/autodetect train)")
+	train := flag.Bool("train", false, "train an in-process model on a synthetic corpus instead")
+	columns := flag.Int("columns", 10000, "synthetic corpus size when -train is set")
+	pairs := flag.Int("pairs", 10000, "distant-supervision pairs per class when -train is set")
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 1, "random seed when -train is set")
+	flag.Parse()
+
+	var det *core.Detector
+	var sem *semantic.Model
+	switch {
+	case *modelPath != "":
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		det, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded model from %s (%d languages, %d bytes)",
+			*modelPath, len(det.Languages()), det.Bytes())
+	case *train:
+		log.Printf("training on %d synthetic columns...", *columns)
+		c := corpus.Generate(corpus.WebProfile(), *columns, *seed)
+		cfg := core.DefaultTrainConfig()
+		ds := distsup.DefaultConfig()
+		ds.PositivePairs, ds.NegativePairs = *pairs, *pairs
+		ds.Seed = *seed
+		cfg.DistSup = ds
+		var err error
+		var rep *core.TrainReport
+		det, rep, err = core.Train(c, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trained: %d languages, %d bytes", len(rep.Selected), rep.SelectedBytes)
+		if sem, err = semantic.Train(c, semantic.DefaultConfig()); err != nil {
+			log.Printf("semantic model unavailable: %v", err)
+			sem = nil
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "autodetectd: need -model or -train")
+		os.Exit(2)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.New(det, sem).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,87 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (the data behind EXPERIMENTS.md).
+//
+//	experiments                 # full scale (minutes)
+//	experiments -scale small    # quick smoke run
+//	experiments -only "Figure 5,Table 5"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	scaleName := flag.String("scale", "full", "experiment scale: full|small")
+	only := flag.String("only", "", "comma-separated artifact ids to run (default: all)")
+	seed := flag.Int64("seed", 1, "random seed")
+	markdown := flag.Bool("md", false, "emit GitHub-flavoured Markdown tables")
+	flag.Parse()
+
+	var scale eval.Scale
+	switch *scaleName {
+	case "full":
+		scale = eval.FullScale()
+	case "small":
+		scale = eval.SmallScale()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	suite := eval.NewSuite(scale, *seed)
+
+	type exp struct {
+		id  string
+		run func() (*eval.Table, error)
+	}
+	exps := []exp{
+		{"Table 3", func() (*eval.Table, error) { return suite.Table3(), nil }},
+		{"Figure 4a", suite.Figure4a},
+		{"Figure 4b", suite.Figure4b},
+		{"Table 4", suite.Table4},
+		{"Figure 5", suite.Figure5},
+		{"Figure 6", suite.Figure6},
+		{"Figure 7", suite.Figure7},
+		{"Figure 8a", suite.Figure8a},
+		{"Figure 8b", suite.Figure8b},
+		{"Figure 8c", suite.Figure8c},
+		{"Table 5", suite.Table5},
+		{"Figure 17a", suite.Figure17a},
+		{"Figure 17b", suite.Figure17b},
+		{"Ablation ST/DT", suite.AblationSelection},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("# Auto-Detect experiment run — scale=%s seed=%d (%s)\n\n",
+		scale.Name, *seed, time.Now().Format("2006-01-02 15:04:05"))
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		t0 := time.Now()
+		tab, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Println(tab.Markdown())
+		} else {
+			fmt.Println(tab.String())
+		}
+		fmt.Printf("(%s took %.1fs)\n\n", e.id, time.Since(t0).Seconds())
+	}
+	fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
+}

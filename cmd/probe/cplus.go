@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/pattern"
+	"repro/internal/stats"
+)
+
+// cplusBreakdown reports, per domain, what fraction of generated columns
+// pass the Appendix F verified-compatible gate (all crude pattern pairs
+// NPMI > 0). Run with: go run ./cmd/probe -cplus
+func cplusBreakdown() {
+	c := corpus.Generate(corpus.WebProfile(), 6000, 1)
+	g := pattern.Crude()
+	crude := stats.NewLanguageStats(g, 0)
+	type cc struct {
+		domain   string
+		patterns []string
+	}
+	cache := make([]cc, len(c.Columns))
+	for i, col := range c.Columns {
+		vs := col.DistinctValues()
+		ps := make([]string, len(vs))
+		for j, v := range vs {
+			ps[j] = g.Generalize(v)
+		}
+		cache[i] = cc{col.Domain, ps}
+		crude.AddColumn(vs)
+	}
+	pass := map[string]int{}
+	total := map[string]int{}
+	for _, col := range cache {
+		total[col.domain]++
+		ok := true
+	outer:
+		for a := 0; a < len(col.patterns); a++ {
+			for b := a + 1; b < len(col.patterns); b++ {
+				if col.patterns[a] == col.patterns[b] {
+					continue
+				}
+				if crude.NPMI(col.patterns[a], col.patterns[b]) <= 0 {
+					ok = false
+					break outer
+				}
+			}
+		}
+		if ok {
+			pass[col.domain]++
+		}
+	}
+	var domains []string
+	for d := range total {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+	for _, d := range domains {
+		fmt.Printf("%-18s %4d/%4d  %.2f\n", d, pass[d], total[d], float64(pass[d])/float64(total[d]))
+	}
+}

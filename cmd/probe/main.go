@@ -1,0 +1,78 @@
+// Command probe is a development aid: it lists the top pooled WIKI
+// predictions of the default small-scale detector with their ground-truth
+// verdicts, to inspect false positives.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/baselines"
+	"repro/internal/eval"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-cplus" {
+		cplusBreakdown()
+		return
+	}
+	s := eval.NewSuite(eval.SmallScale(), 1)
+	det, _, err := s.Detector()
+	if err != nil {
+		panic(err)
+	}
+	ad := &baselines.AutoDetect{Det: det}
+	type hit struct {
+		domain, value, partner string
+		conf                   float64
+		correct                bool
+	}
+	var hits []hit
+	for _, col := range s.WikiTest().Columns {
+		preds := ad.Detect(col.Values)
+		if len(preds) == 0 {
+			continue
+		}
+		top := preds[0]
+		correct := false
+		for _, di := range col.Dirty {
+			if col.Values[di] == top.Value {
+				correct = true
+			}
+		}
+		partner := ""
+		fs := det.DetectColumn(col.Values)
+		if len(fs) > 0 {
+			partner = fs[0].Partner
+		}
+		hits = append(hits, hit{col.Domain, top.Value, partner, top.Confidence, correct})
+	}
+	sort.SliceStable(hits, func(i, j int) bool { return hits[i].conf > hits[j].conf })
+	n := 50
+	if len(hits) < n {
+		n = len(hits)
+	}
+	fmt.Println("top pooled predictions (X = false positive):")
+	for i, h := range hits[:n] {
+		mark := " "
+		if !h.correct {
+			mark = "X"
+		}
+		fmt.Printf("%2d %s [%s] %q vs %q conf=%.3f\n", i+1, mark, h.domain, h.value, h.partner, h.conf)
+	}
+
+	for _, pair := range [][2]string{
+		{"Ana Kim", "Richard Anderson"},
+		{"c0c5b9d9", "b57c057b"},
+		{"Portland", "Miami"},
+	} {
+		ps := det.ScorePair(pair[0], pair[1])
+		fmt.Printf("\npair %q vs %q flagged=%v conf=%.3f\n", pair[0], pair[1], ps.Flagged, ps.Confidence)
+		for i, l := range ps.ByLanguage {
+			cal := det.Languages()[i]
+			fmt.Printf("  %v npmi=%+0.3f theta=%+0.3f fires=%v prec=%.3f\n",
+				cal.Stats.Language(), l.NPMI, cal.Theta, l.Fires, l.Precision)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Spreadsheetaudit audits a simulated enterprise spreadsheet corpus the
+// way the paper audits Ent-XLS (Section 4): train on clean web tables,
+// sweep every column of the audit target, and report the most confident
+// findings together with precision against the planted ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	autodetect "repro"
+	"repro/internal/corpus"
+)
+
+func main() {
+	// Train on the web profile — a different distribution than the audited
+	// spreadsheets, as in the paper's cross-corpus setup.
+	columns, err := autodetect.GenerateColumns(autodetect.ProfileWeb, 6000, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := autodetect.DefaultConfig()
+	cfg.TrainingPairs = 10000
+	model, err := autodetect.Train(columns, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("model:", model.Stats())
+
+	// The audit target: 2000 enterprise-style columns with ~3% planted
+	// errors (mixed phone formats, unit mismatches, stray punctuation...).
+	audit := corpus.Generate(corpus.EntXLSProfile(), 2000, 99)
+	fmt.Printf("auditing %d columns (%d planted errors)...\n\n",
+		audit.NumColumns(), audit.DirtyColumns())
+
+	type hit struct {
+		column  string
+		finding autodetect.Finding
+		planted bool
+	}
+	var hits []hit
+	for _, col := range audit.Columns {
+		fs := model.DetectColumn(col.Values)
+		if len(fs) == 0 || fs[0].Confidence < 0.9 {
+			continue
+		}
+		planted := false
+		for _, di := range col.Dirty {
+			if col.Values[di] == fs[0].Value {
+				planted = true
+			}
+		}
+		hits = append(hits, hit{col.Name, fs[0], planted})
+	}
+	sort.SliceStable(hits, func(i, j int) bool {
+		return hits[i].finding.Confidence > hits[j].finding.Confidence
+	})
+
+	correct := 0
+	for i, h := range hits {
+		if h.planted {
+			correct++
+		}
+		if i < 15 {
+			fmt.Printf("%2d. [%s] %-22q vs %-22q conf=%.3f planted=%v\n",
+				i+1, h.column, h.finding.Value, h.finding.Partner, h.finding.Confidence, h.planted)
+		}
+	}
+	if len(hits) > 0 {
+		fmt.Printf("\n%d findings at confidence ≥ 0.9, precision vs planted ground truth: %.3f\n",
+			len(hits), float64(correct)/float64(len(hits)))
+	} else {
+		fmt.Println("no findings above the confidence bar")
+	}
+}

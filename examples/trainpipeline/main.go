@@ -1,0 +1,67 @@
+// Trainpipeline walks the full offline pipeline of the paper through the
+// public API: corpus → distant-supervision calibration → budgeted language
+// selection → serialized model → reload → interactive pair scoring.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	autodetect "repro"
+)
+
+func main() {
+	// Stage 1: corpus. Mix the two training profiles the paper uses
+	// (web tables + public spreadsheets).
+	web, err := autodetect.GenerateColumns(autodetect.ProfileWeb, 4000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xls, err := autodetect.GenerateColumns(autodetect.ProfileSpreadsheet, 1500, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	columns := append(web, xls...)
+	fmt.Printf("stage 1: corpus of %d columns\n", len(columns))
+
+	// Stage 2+3: statistics, distant supervision, calibration, selection.
+	cfg := autodetect.DefaultConfig()
+	cfg.TrainingPairs = 10000
+	cfg.MemoryBudget = 16 << 20 // tighter budget: fewer, cheaper languages
+	model, err := autodetect.Train(columns, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stage 2: trained —", model.Stats())
+	fmt.Println("stage 3: selected languages:")
+	for _, l := range model.Languages() {
+		fmt.Println("  ", l)
+	}
+
+	// Stage 4: serialize and reload (what a client-side deployment ships).
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stage 4: model serialized to %d bytes\n", buf.Len())
+	reloaded, err := autodetect.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 5: interactive scoring with the reloaded model.
+	pairs := [][2]string{
+		{"2011-01-01", "2012-09-30"}, // same format: compatible
+		{"2011-01-01", "2011/01/01"}, // mixed separators: incompatible
+		{"1,000", "100"},             // comma thousands vs plain: compatible
+		{"3-2", "-"},                 // placeholder among scores: incompatible
+		{"72 kg", "154 lbs"},         // unit mismatch: incompatible
+	}
+	fmt.Println("stage 5: pair verdicts")
+	for _, p := range pairs {
+		v := reloaded.ScorePair(p[0], p[1])
+		fmt.Printf("  %-14q vs %-14q incompatible=%-5v confidence=%.3f\n",
+			p[0], p[1], v.Incompatible, v.Confidence)
+	}
+}

@@ -1,0 +1,92 @@
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Union pools the predictions of several detectors, keeping each value's
+// maximum confidence across methods — the ensemble the paper evaluates as
+// "Union" in Figure 4(a).
+type Union struct {
+	// Members are the pooled detectors.
+	Members []Detector
+}
+
+// Name implements Detector.
+func (*Union) Name() string { return "Union" }
+
+// Detect implements Detector.
+func (u *Union) Detect(values []string) []Prediction {
+	best := map[int]Prediction{}
+	for _, m := range u.Members {
+		for _, p := range m.Detect(values) {
+			if cur, ok := best[p.Index]; !ok || p.Confidence > cur.Confidence {
+				best[p.Index] = p
+			}
+		}
+	}
+	out := make([]Prediction, 0, len(best))
+	for _, p := range best {
+		out = append(out, p)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// All returns the full baseline roster in the order of the paper's
+// Figure 4(a), excluding Union (compose one with AllPlusUnion if needed).
+func All() []Detector {
+	return []Detector{
+		&FRegex{},
+		&PWheel{},
+		&DBoost{},
+		&Linear{},
+		&LinearP{},
+		&CDM{},
+		&LSA{},
+		&SVDD{},
+		&DBOD{},
+		&LOF{},
+	}
+}
+
+// AllPlusUnion returns the baselines plus a Union over all of them.
+func AllPlusUnion() []Detector {
+	ds := All()
+	return append(ds, &Union{Members: All()})
+}
+
+// AutoDetect adapts a trained core.Detector to the baseline Detector
+// interface so the evaluation harness can rank it alongside the baselines.
+type AutoDetect struct {
+	// Det is the trained detector.
+	Det *core.Detector
+	// DisplayName overrides the default "Auto-Detect" label (used by the
+	// aggregation-ablation experiment).
+	DisplayName string
+}
+
+// Name implements Detector.
+func (a *AutoDetect) Name() string {
+	if a.DisplayName != "" {
+		return a.DisplayName
+	}
+	return "Auto-Detect"
+}
+
+// Detect implements Detector.
+func (a *AutoDetect) Detect(values []string) []Prediction {
+	findings := a.Det.DetectColumn(values)
+	out := make([]Prediction, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, Prediction{Index: f.Index, Value: f.Value, Confidence: f.Confidence})
+	}
+	return out
+}

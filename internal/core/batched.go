@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/distsup"
+	"repro/internal/pattern"
+	"repro/internal/stats"
+)
+
+// TrainBatched trains like Train but bounds peak memory by processing
+// candidate languages in batches: each batch gets its own corpus pass,
+// is calibrated, reduced to lightweight metadata (threshold, precision
+// curve, coverage, size), and its statistics are dropped. After selection,
+// one final corpus pass rebuilds statistics for the chosen languages only.
+//
+// Holding all 144 candidates' statistics at once costs ~300KB per language
+// per thousand corpus columns (dominated by near-leaf languages' pair
+// dictionaries); batching caps the peak at batchSize languages plus the
+// final ensemble, at the cost of ⌈candidates/batchSize⌉+1 corpus passes.
+func TrainBatched(c *corpus.Corpus, cfg TrainConfig, batchSize int) (*Detector, *TrainReport, error) {
+	if c == nil || len(c.Columns) == 0 {
+		return nil, nil, errors.New("core: empty training corpus")
+	}
+	if batchSize <= 0 {
+		batchSize = 16
+	}
+	if cfg.TargetPrecision == 0 {
+		cfg.TargetPrecision = 0.95
+	}
+	if cfg.Smoothing == 0 {
+		cfg.Smoothing = stats.DefaultSmoothing
+	}
+	if cfg.MemoryBudget == 0 {
+		cfg.MemoryBudget = 64 << 20
+	}
+	langs := cfg.Languages
+	if langs == nil {
+		langs = pattern.All()
+	}
+	ds := cfg.DistSup
+	if ds.PositivePairs == 0 && ds.NegativePairs == 0 {
+		ds = distsup.DefaultConfig()
+	}
+
+	data, err := distsup.Generate(c, ds)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: generating training data: %w", err)
+	}
+
+	// Phase 1: per-batch statistics + calibration; keep metadata only.
+	light := make([]*Calibration, 0, len(langs))
+	for start := 0; start < len(langs); start += batchSize {
+		end := start + batchSize
+		if end > len(langs) {
+			end = len(langs)
+		}
+		builder := stats.NewBuilder(langs[start:end], cfg.Smoothing)
+		for _, col := range c.Columns {
+			builder.AddColumn(col.Values)
+		}
+		for _, ls := range builder.Stats() {
+			cal, err := Calibrate(ls, data, cfg.TargetPrecision)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: calibrating %v: %w", ls.Language(), err)
+			}
+			cal.SizeOverride = ls.Bytes()
+			cal.langID = ls.Language().ID
+			cal.Stats = nil // drop the statistics; keep curve + coverage
+			light = append(light, cal)
+		}
+	}
+
+	// Phase 2: selection on metadata.
+	sel, err := SelectGreedy(light, cfg.MemoryBudget)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 3: rebuild statistics for the chosen languages only.
+	chosenLangs := make([]pattern.Language, len(sel.Chosen))
+	for i, cal := range sel.Chosen {
+		chosenLangs[i] = pattern.ByID(cal.langID)
+	}
+	builder := stats.NewBuilder(chosenLangs, cfg.Smoothing)
+	for _, col := range c.Columns {
+		builder.AddColumn(col.Values)
+	}
+	for i, cal := range sel.Chosen {
+		cal.Stats = builder.Stats()[i]
+		cal.SizeOverride = 0
+	}
+
+	if cfg.SketchRatio > 0 && cfg.SketchRatio < 1 {
+		for _, cal := range sel.Chosen {
+			if err := cal.Stats.CompressToSketch(cfg.SketchRatio, 4); err != nil {
+				return nil, nil, fmt.Errorf("core: compressing statistics: %w", err)
+			}
+		}
+	}
+
+	det, err := NewDetector(sel.Chosen, cfg.Aggregation)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &TrainReport{
+		CandidateLanguages: len(langs),
+		TrainingExamples:   len(data.Examples),
+		CompatColumns:      data.CompatColumns,
+		SelectedBytes:      det.Bytes(),
+		Coverage:           sel.Coverage,
+		UsedSingleton:      sel.UsedSingleton,
+	}
+	for _, cal := range sel.Chosen {
+		report.Selected = append(report.Selected, cal.Stats.Language())
+	}
+	return det, report, nil
+}

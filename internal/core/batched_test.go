@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/distsup"
+	"repro/internal/pattern"
+)
+
+// TestTrainBatchedMatchesTrain: batched training must select the same
+// languages with the same thresholds as the all-at-once path, since it
+// computes identical statistics in a different order.
+func TestTrainBatchedMatchesTrain(t *testing.T) {
+	c := corpus.Generate(corpus.WebProfile(), 2500, 23)
+	cfg := DefaultTrainConfig()
+	all := pattern.All()
+	for i := 0; i < len(all); i += 5 {
+		cfg.Languages = append(cfg.Languages, all[i])
+	}
+	ds := distsup.DefaultConfig()
+	ds.PositivePairs, ds.NegativePairs = 2500, 2500
+	cfg.DistSup = ds
+
+	plain, plainRep, err := Train(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, batchRep, err := TrainBatched(c, cfg, 7) // uneven batch size on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(plainRep.Selected) != len(batchRep.Selected) {
+		t.Fatalf("selected %v vs batched %v", plainRep.Selected, batchRep.Selected)
+	}
+	for i := range plainRep.Selected {
+		if plainRep.Selected[i] != batchRep.Selected[i] {
+			t.Fatalf("language %d differs: %v vs %v", i, plainRep.Selected[i], batchRep.Selected[i])
+		}
+	}
+	if plainRep.Coverage != batchRep.Coverage {
+		t.Errorf("coverage %d vs %d", plainRep.Coverage, batchRep.Coverage)
+	}
+	for i := range plain.Languages() {
+		a, b := plain.Languages()[i], batched.Languages()[i]
+		if a.Theta != b.Theta {
+			t.Errorf("theta differs for %v: %v vs %v", a.Stats.Language(), a.Theta, b.Theta)
+		}
+	}
+	// Identical verdicts on probe pairs.
+	for _, p := range [][2]string{
+		{"2011-01-01", "2011/01/01"},
+		{"2011-01-01", "2012-09-30"},
+		{"1,000", "100"},
+		{"3-2", "-"},
+	} {
+		x, y := plain.ScorePair(p[0], p[1]), batched.ScorePair(p[0], p[1])
+		if x.Flagged != y.Flagged || x.Confidence != y.Confidence {
+			t.Errorf("pair %v: %+v vs %+v", p, x, y)
+		}
+	}
+}
+
+func TestTrainBatchedValidation(t *testing.T) {
+	if _, _, err := TrainBatched(nil, DefaultTrainConfig(), 8); err == nil {
+		t.Error("nil corpus should error")
+	}
+}

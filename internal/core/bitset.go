@@ -1,0 +1,56 @@
+package core
+
+import "math/bits"
+
+// Bitset is a fixed-capacity bit set used to track which T− training
+// examples a language covers (the H−k sets of Section 3.2).
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns a bitset holding n bits, all clear.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) { b.words[i/64] |= 1 << (i % 64) }
+
+// Get reports bit i.
+func (b *Bitset) Get(i int) bool { return b.words[i/64]&(1<<(i%64)) != 0 }
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// UnionCount returns |b ∪ o| without materializing the union.
+func (b *Bitset) UnionCount(o *Bitset) int {
+	c := 0
+	for i, w := range b.words {
+		c += bits.OnesCount64(w | o.words[i])
+	}
+	return c
+}
+
+// Or merges o into b.
+func (b *Bitset) Or(o *Bitset) {
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// Clone returns a copy of b.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{words: w, n: b.n}
+}

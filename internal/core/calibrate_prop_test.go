@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCalibrationInvariants: for random score/label assignments, the
+// derived threshold and coverage must satisfy the Definition 5 contract.
+func TestCalibrationInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%60) + 5
+		target := 0.5 + float64(pRaw%50)/100 // P ∈ [0.5, 0.99]
+		r := rand.New(rand.NewSource(seed))
+		scores := make([]float64, n)
+		negs := make([]bool, n)
+		hasNeg := false
+		for i := range scores {
+			scores[i] = r.Float64()*2 - 1
+			negs[i] = r.Intn(2) == 0
+			hasNeg = hasNeg || negs[i]
+		}
+		if !hasNeg {
+			negs[0] = true
+		}
+		cal, err := calibrateScores(scores, negs, target)
+		if err != nil {
+			return false
+		}
+
+		// Invariant 1: a firing threshold is strictly negative.
+		if cal.Theta >= 0 && cal.Theta != NoFireTheta {
+			return false
+		}
+		// Invariant 2: if the language fires, its training precision at θ
+		// meets the target.
+		if cal.Theta >= -1 {
+			neg, tot := 0, 0
+			for i, s := range scores {
+				if s <= cal.Theta {
+					tot++
+					if negs[i] {
+						neg++
+					}
+				}
+			}
+			if tot == 0 || float64(neg)/float64(tot) < target {
+				return false
+			}
+			// Invariant 3: coverage counts exactly the negatives at or
+			// below θ.
+			if cal.CoverageCount() != neg {
+				return false
+			}
+			if cal.FalsePositives() != tot-neg {
+				return false
+			}
+		} else if cal.CoverageCount() != 0 {
+			return false
+		}
+		// Invariant 4: the precision curve is a valid prefix ratio at every
+		// training score.
+		for _, s := range scores {
+			p := cal.PrecisionAt(s)
+			if p < 0 || p > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSelectionInvariants: greedy selection respects the budget and never
+// reports more coverage than the union of its members.
+func TestSelectionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nNeg := r.Intn(50) + 10
+		nCands := r.Intn(8) + 2
+		cands := make([]*Calibration, nCands)
+		for i := range cands {
+			scores := make([]float64, nNeg*2)
+			negs := make([]bool, nNeg*2)
+			for j := range scores {
+				scores[j] = r.Float64()*2 - 1
+				negs[j] = j < nNeg
+			}
+			cal, err := calibrateScores(scores, negs, 0.6)
+			if err != nil {
+				return false
+			}
+			cal.SizeOverride = r.Intn(1000) + 1
+			cands[i] = cal
+		}
+		budget := r.Intn(3000) + 500
+		sel, err := SelectGreedy(cands, budget)
+		if err != nil {
+			return true // nothing selectable is legal
+		}
+		if sel.Bytes > budget {
+			return false
+		}
+		union := NewBitset(cands[0].Coverage().Len())
+		total := 0
+		for _, c := range sel.Chosen {
+			union.Or(c.Coverage())
+			total += c.Bytes()
+		}
+		return sel.Coverage == union.Count() && sel.Bytes == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package core implements the Auto-Detect algorithm (Huang & He, SIGMOD
+// 2018): distant-supervision calibration of generalization languages
+// against a table corpus, precision-constrained threshold derivation
+// (Equation 8), memory-budgeted greedy language selection (Algorithm 1),
+// and the ensemble detector with max-confidence aggregation (Appendix B).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/distsup"
+	"repro/internal/pattern"
+	"repro/internal/stats"
+)
+
+// TrainConfig parameterizes end-to-end training.
+type TrainConfig struct {
+	// Languages are the candidate generalization languages; nil means the
+	// full 144-language candidate space.
+	Languages []pattern.Language
+	// TargetPrecision is the precision requirement P (paper default 0.95).
+	TargetPrecision float64
+	// MemoryBudget is the statistics budget M in bytes.
+	MemoryBudget int
+	// Smoothing is the Jelinek–Mercer factor f (paper default 0.1).
+	Smoothing float64
+	// DistSup configures training-pair generation; zero value uses
+	// distsup.DefaultConfig.
+	DistSup distsup.Config
+	// SketchRatio, when in (0,1), compresses each selected language's
+	// co-occurrence store to that fraction of its exact size using a
+	// count-min sketch (Section 3.4). 0 or 1 keeps exact dictionaries.
+	SketchRatio float64
+	// Aggregation is the ensemble strategy (default AggMaxConfidence).
+	Aggregation Aggregation
+}
+
+// DefaultTrainConfig returns the paper's defaults at laptop scale.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		TargetPrecision: 0.95,
+		MemoryBudget:    64 << 20,
+		Smoothing:       stats.DefaultSmoothing,
+		DistSup:         distsup.DefaultConfig(),
+	}
+}
+
+// TrainReport summarizes a training run.
+type TrainReport struct {
+	// CandidateLanguages is the size of the candidate space considered.
+	CandidateLanguages int
+	// TrainingExamples is |T| = |T+| + |T−|.
+	TrainingExamples int
+	// CompatColumns is |C+|.
+	CompatColumns int
+	// Selected lists the chosen languages.
+	Selected []pattern.Language
+	// SelectedBytes is the statistics footprint of the selection.
+	SelectedBytes int
+	// Coverage is |∪ H−k| on the training negatives.
+	Coverage int
+	// UsedSingleton reports whether Algorithm 1 fell back to the best
+	// single language.
+	UsedSingleton bool
+}
+
+// Pipeline holds the reusable products of the expensive training stages —
+// per-language corpus statistics and distant-supervision training data —
+// so parameter sweeps (memory budgets, smoothing factors, sketch ratios,
+// precision targets) can recalibrate and reselect without another corpus
+// pass.
+type Pipeline struct {
+	// Languages are the candidate languages, parallel to Stats.
+	Languages []pattern.Language
+	// Stats are the per-language corpus statistics.
+	Stats []*stats.LanguageStats
+	// Data is the distant-supervision training set.
+	Data *distsup.Data
+}
+
+// NewPipeline runs the corpus passes of training: statistics for every
+// candidate language plus distant-supervision pair generation.
+func NewPipeline(c *corpus.Corpus, cfg TrainConfig) (*Pipeline, error) {
+	if c == nil || len(c.Columns) == 0 {
+		return nil, errors.New("core: empty training corpus")
+	}
+	if cfg.Smoothing == 0 {
+		cfg.Smoothing = stats.DefaultSmoothing
+	}
+	langs := cfg.Languages
+	if langs == nil {
+		langs = pattern.All()
+	}
+	ds := cfg.DistSup
+	if ds.PositivePairs == 0 && ds.NegativePairs == 0 {
+		ds = distsup.DefaultConfig()
+	}
+
+	builder := stats.NewBuilder(langs, cfg.Smoothing)
+	for _, col := range c.Columns {
+		builder.AddColumn(col.Values)
+	}
+	data, err := distsup.Generate(c, ds)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating training data: %w", err)
+	}
+	return &Pipeline{Languages: langs, Stats: builder.Stats(), Data: data}, nil
+}
+
+// Calibrate derives thresholds, precision curves and coverage for every
+// candidate language at the given precision target.
+func (p *Pipeline) Calibrate(targetPrecision float64) ([]*Calibration, error) {
+	cands := make([]*Calibration, 0, len(p.Stats))
+	for _, ls := range p.Stats {
+		cal, err := Calibrate(ls, p.Data, targetPrecision)
+		if err != nil {
+			return nil, fmt.Errorf("core: calibrating %v: %w", ls.Language(), err)
+		}
+		cands = append(cands, cal)
+	}
+	return cands, nil
+}
+
+// SetSmoothing changes the Jelinek–Mercer factor on every candidate's
+// statistics (used by the Figure 17a smoothing sweep; recalibrate after).
+func (p *Pipeline) SetSmoothing(f float64) {
+	for _, ls := range p.Stats {
+		ls.SetSmoothing(f)
+	}
+}
+
+// BuildDetector selects languages under the memory budget from calibrated
+// candidates, optionally compresses the selected statistics with a
+// count-min sketch, and assembles the detector.
+func BuildDetector(cands []*Calibration, memoryBudget int, agg Aggregation, sketchRatio float64) (*Detector, *TrainReport, error) {
+	sel, err := SelectGreedy(cands, memoryBudget)
+	if err != nil {
+		return nil, nil, err
+	}
+	chosen := sel.Chosen
+	if sketchRatio > 0 && sketchRatio < 1 {
+		// Compress copies so the exact calibrations stay reusable.
+		compressed := make([]*Calibration, len(chosen))
+		for i, cal := range chosen {
+			sk, err := cal.Stats.SketchCopy(sketchRatio, 4)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: compressing statistics: %w", err)
+			}
+			cc := *cal
+			cc.Stats = sk
+			compressed[i] = &cc
+		}
+		chosen = compressed
+	}
+	det, err := NewDetector(chosen, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &TrainReport{
+		SelectedBytes: sel.Bytes,
+		Coverage:      sel.Coverage,
+		UsedSingleton: sel.UsedSingleton,
+	}
+	for _, cal := range chosen {
+		report.Selected = append(report.Selected, cal.Stats.Language())
+	}
+	if sketchRatio > 0 && sketchRatio < 1 {
+		report.SelectedBytes = det.Bytes()
+	}
+	return det, report, nil
+}
+
+// Train builds corpus statistics for every candidate language, generates
+// distant-supervision training data from the same corpus, calibrates each
+// language to the target precision, selects an ensemble under the memory
+// budget, and returns the ready-to-use detector.
+func Train(c *corpus.Corpus, cfg TrainConfig) (*Detector, *TrainReport, error) {
+	if cfg.TargetPrecision == 0 {
+		cfg.TargetPrecision = 0.95
+	}
+	if cfg.MemoryBudget == 0 {
+		cfg.MemoryBudget = 64 << 20
+	}
+	p, err := NewPipeline(c, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	cands, err := p.Calibrate(cfg.TargetPrecision)
+	if err != nil {
+		return nil, nil, err
+	}
+	det, report, err := BuildDetector(cands, cfg.MemoryBudget, cfg.Aggregation, cfg.SketchRatio)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.CandidateLanguages = len(p.Languages)
+	report.TrainingExamples = len(p.Data.Examples)
+	report.CompatColumns = p.Data.CompatColumns
+	return det, report, nil
+}

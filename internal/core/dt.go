@@ -1,0 +1,220 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/distsup"
+)
+
+// SelectDT is a local-search heuristic for the DT-aggregation problem of
+// Definition 4: choose a subset of languages AND a separate threshold θk
+// per language so that the union of their predictions maximizes recall on
+// T− subject to a global precision requirement and the memory budget. The
+// paper proves the problem NP-hard and inapproximable (Theorem 1) and
+// adopts the more tractable ST formulation; this heuristic exists for the
+// ST-vs-DT ablation.
+//
+// The search seeds every language at its ST threshold, then repeatedly
+// tries moving one language's threshold to an adjacent candidate value
+// (the distinct negative scores of its training distribution), accepting
+// moves that increase union recall while keeping union precision at or
+// above the target. Finally, languages are greedily packed under the
+// memory budget by marginal recall per byte.
+//
+// maxLanguages bounds the candidate pool (the per-example score matrix is
+// materialized for the pool); 0 means 16.
+func SelectDT(cands []*Calibration, data *distsup.Data, memoryBudget int, targetPrecision float64, maxLanguages int) (*Selection, error) {
+	if len(cands) == 0 {
+		return nil, errors.New("core: no candidate languages")
+	}
+	if memoryBudget <= 0 {
+		return nil, errors.New("core: memory budget must be positive")
+	}
+	if targetPrecision <= 0 || targetPrecision > 1 {
+		return nil, errors.New("core: target precision must be in (0,1]")
+	}
+	if maxLanguages <= 0 {
+		maxLanguages = 16
+	}
+
+	// Pool: affordable candidates with the best ST coverage density.
+	pool := make([]*Calibration, 0, len(cands))
+	for _, c := range cands {
+		if c.Bytes() <= memoryBudget && c.CoverageCount() > 0 {
+			pool = append(pool, c)
+		}
+	}
+	if len(pool) == 0 {
+		return nil, errors.New("core: no affordable candidate covers anything")
+	}
+	sort.SliceStable(pool, func(i, j int) bool {
+		return float64(pool[i].CoverageCount())/float64(pool[i].Bytes()+1) >
+			float64(pool[j].CoverageCount())/float64(pool[j].Bytes()+1)
+	})
+	if len(pool) > maxLanguages {
+		pool = pool[:maxLanguages]
+	}
+
+	// Score matrix over the training set (leave-one-out, as in
+	// calibration).
+	n := len(data.Examples)
+	negTotal := 0
+	for _, e := range data.Examples {
+		if e.Incompatible {
+			negTotal++
+		}
+	}
+	if negTotal == 0 {
+		return nil, errors.New("core: training data has no incompatible examples")
+	}
+	scores := make([][]float64, len(pool))
+	for li, cal := range pool {
+		row := make([]float64, n)
+		for i, e := range data.Examples {
+			row[i] = cal.Stats.NPMIRunsLOO(e.URuns, e.VRuns, !e.Incompatible)
+		}
+		scores[li] = row
+	}
+
+	// Candidate thresholds per language: distinct negative scores observed
+	// on T−, ascending.
+	candTheta := make([][]float64, len(pool))
+	for li := range pool {
+		seen := map[float64]bool{}
+		var ts []float64
+		for i, e := range data.Examples {
+			s := scores[li][i]
+			if e.Incompatible && s < 0 && !seen[s] {
+				seen[s] = true
+				ts = append(ts, s)
+			}
+		}
+		sort.Float64s(ts)
+		candTheta[li] = ts
+	}
+
+	// State: per-language threshold index into candTheta (−1 = never fire).
+	idx := make([]int, len(pool))
+	for li, cal := range pool {
+		idx[li] = -1
+		for i, t := range candTheta[li] {
+			if t <= cal.Theta {
+				idx[li] = i
+			}
+		}
+	}
+
+	thetaOf := func(li int) float64 {
+		if idx[li] < 0 {
+			return NoFireTheta
+		}
+		return candTheta[li][idx[li]]
+	}
+	// evaluate returns union recall (covered negatives) and precision.
+	evaluate := func() (covered, falsePos int) {
+		for i, e := range data.Examples {
+			hit := false
+			for li := range pool {
+				if idx[li] >= 0 && scores[li][i] <= candTheta[li][idx[li]] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			if e.Incompatible {
+				covered++
+			} else {
+				falsePos++
+			}
+		}
+		return covered, falsePos
+	}
+	feasible := func(covered, falsePos int) bool {
+		if covered+falsePos == 0 {
+			return true
+		}
+		return float64(covered)/float64(covered+falsePos) >= targetPrecision
+	}
+
+	covered, falsePos := evaluate()
+	// Local search: single-threshold moves, first-improvement, bounded
+	// passes.
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+		for li := range pool {
+			for _, delta := range []int{+1, -1} {
+				ni := idx[li] + delta
+				if ni < -1 || ni >= len(candTheta[li]) {
+					continue
+				}
+				old := idx[li]
+				idx[li] = ni
+				c2, f2 := evaluate()
+				if feasible(c2, f2) && c2 > covered {
+					covered, falsePos = c2, f2
+					improved = true
+				} else {
+					idx[li] = old
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	_ = falsePos
+
+	// Greedy packing under the budget by marginal covered-negatives per
+	// byte, with per-language coverage at the tuned thresholds.
+	covSets := make([]*Bitset, len(pool))
+	for li := range pool {
+		bs := NewBitset(negTotal)
+		ni := 0
+		for i, e := range data.Examples {
+			if !e.Incompatible {
+				continue
+			}
+			if idx[li] >= 0 && scores[li][i] <= candTheta[li][idx[li]] {
+				bs.Set(ni)
+			}
+			ni++
+		}
+		covSets[li] = bs
+	}
+	chosenMask := make([]bool, len(pool))
+	union := NewBitset(negTotal)
+	bytes := 0
+	var chosen []*Calibration
+	for {
+		best, bestGain := -1, 0.0
+		for li := range pool {
+			if chosenMask[li] || pool[li].Bytes()+bytes > memoryBudget {
+				continue
+			}
+			inc := union.UnionCount(covSets[li]) - union.Count()
+			gain := float64(inc) / float64(pool[li].Bytes()+1)
+			if gain > bestGain {
+				bestGain, best = gain, li
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosenMask[best] = true
+		union.Or(covSets[best])
+		bytes += pool[best].Bytes()
+		// Clone the calibration with the tuned threshold so the ST
+		// calibration stays intact.
+		cc := *pool[best]
+		cc.Theta = thetaOf(best)
+		cc.coverage = covSets[best]
+		chosen = append(chosen, &cc)
+	}
+	if len(chosen) == 0 {
+		return nil, errors.New("core: DT search selected nothing")
+	}
+	return &Selection{Chosen: chosen, Bytes: bytes, Coverage: union.Count()}, nil
+}

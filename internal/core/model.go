@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// modelMagic identifies serialized Auto-Detect models.
+var modelMagic = []byte("AUTODETECT-GO/1\n")
+
+// Save serializes the detector: aggregation strategy and, per language,
+// the threshold, the empirical precision curve, and the corpus statistics.
+// Sketch-compressed detectors cannot be saved; save before compressing.
+func (d *Detector) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(modelMagic); err != nil {
+		return err
+	}
+	var tmp [8]byte
+	wu64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		_, err := bw.Write(tmp[:])
+		return err
+	}
+	if err := wu64(uint64(d.agg)); err != nil {
+		return err
+	}
+	if err := wu64(uint64(len(d.cals))); err != nil {
+		return err
+	}
+	for _, c := range d.cals {
+		if err := wu64(math.Float64bits(c.Theta)); err != nil {
+			return err
+		}
+		if err := wu64(math.Float64bits(c.TargetPrecision)); err != nil {
+			return err
+		}
+		if err := wu64(uint64(len(c.scores))); err != nil {
+			return err
+		}
+		for _, s := range c.scores {
+			if err := wu64(math.Float64bits(s)); err != nil {
+				return err
+			}
+		}
+		for _, p := range c.prefixNeg {
+			if err := wu64(uint64(p)); err != nil {
+				return err
+			}
+		}
+		blob, err := c.Stats.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("core: serializing statistics: %w", err)
+		}
+		if err := wu64(uint64(len(blob))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(blob); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load deserializes a detector produced by Save.
+func Load(r io.Reader) (*Detector, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading model magic: %w", err)
+	}
+	if string(magic) != string(modelMagic) {
+		return nil, errors.New("core: not an Auto-Detect model")
+	}
+	var tmp [8]byte
+	ru64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, tmp[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(tmp[:]), nil
+	}
+	aggv, err := ru64()
+	if err != nil {
+		return nil, err
+	}
+	nl, err := ru64()
+	if err != nil {
+		return nil, err
+	}
+	if nl == 0 || nl > 1024 {
+		return nil, errors.New("core: corrupt language count")
+	}
+	cals := make([]*Calibration, 0, nl)
+	for i := uint64(0); i < nl; i++ {
+		c := &Calibration{}
+		th, err := ru64()
+		if err != nil {
+			return nil, err
+		}
+		c.Theta = math.Float64frombits(th)
+		tp, err := ru64()
+		if err != nil {
+			return nil, err
+		}
+		c.TargetPrecision = math.Float64frombits(tp)
+		ns, err := ru64()
+		if err != nil {
+			return nil, err
+		}
+		if ns > 1<<30 {
+			return nil, errors.New("core: corrupt curve length")
+		}
+		c.scores = make([]float64, ns)
+		for j := range c.scores {
+			v, err := ru64()
+			if err != nil {
+				return nil, err
+			}
+			c.scores[j] = math.Float64frombits(v)
+		}
+		c.prefixNeg = make([]int, ns)
+		for j := range c.prefixNeg {
+			v, err := ru64()
+			if err != nil {
+				return nil, err
+			}
+			c.prefixNeg[j] = int(v)
+		}
+		bl, err := ru64()
+		if err != nil {
+			return nil, err
+		}
+		if bl > 1<<32 {
+			return nil, errors.New("core: corrupt statistics length")
+		}
+		blob := make([]byte, bl)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return nil, err
+		}
+		ls := &stats.LanguageStats{}
+		if err := ls.UnmarshalBinary(blob); err != nil {
+			return nil, fmt.Errorf("core: language %d statistics: %w", i, err)
+		}
+		c.Stats = ls
+		c.coverage = NewBitset(0)
+		cals = append(cals, c)
+	}
+	return NewDetector(cals, Aggregation(aggv))
+}

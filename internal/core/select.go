@@ -1,0 +1,88 @@
+package core
+
+import "errors"
+
+// Selection is the result of the budgeted language selection of
+// Definition 5.
+type Selection struct {
+	// Chosen are the selected calibrated languages, in selection order.
+	Chosen []*Calibration
+	// Bytes is the total statistics footprint of the selection.
+	Bytes int
+	// Coverage is |∪ H−k| over the chosen languages.
+	Coverage int
+	// UsedSingleton is true when the best single language beat the greedy
+	// set (lines 8–12 of Algorithm 1).
+	UsedSingleton bool
+}
+
+// SelectGreedy implements Algorithm 1: greedily add the language with the
+// best marginal coverage of incompatible training examples per byte of
+// statistics, subject to the memory budget; then compare against the best
+// single affordable language and return the better of the two. The
+// procedure is a ½(1−1/e)-approximation of the NP-hard ST-aggregation
+// optimum (Lemma 3).
+func SelectGreedy(candidates []*Calibration, memoryBudget int) (*Selection, error) {
+	if len(candidates) == 0 {
+		return nil, errors.New("core: no candidate languages")
+	}
+	if memoryBudget <= 0 {
+		return nil, errors.New("core: memory budget must be positive")
+	}
+	negTotal := candidates[0].Coverage().Len()
+
+	// Greedy phase (lines 2–7).
+	var chosen []*Calibration
+	used := make([]bool, len(candidates))
+	covered := NewBitset(negTotal)
+	bytes := 0
+	for {
+		best := -1
+		bestGain := -1.0
+		for i, cand := range candidates {
+			if used[i] || cand.Bytes()+bytes > memoryBudget {
+				continue
+			}
+			inc := covered.UnionCount(cand.Coverage()) - covered.Count()
+			gain := float64(inc) / float64(cand.Bytes()+1)
+			if gain > bestGain {
+				bestGain = gain
+				best = i
+			}
+		}
+		if best < 0 || bestGain <= 0 {
+			break
+		}
+		used[best] = true
+		chosen = append(chosen, candidates[best])
+		covered.Or(candidates[best].Coverage())
+		bytes += candidates[best].Bytes()
+	}
+
+	// Best affordable singleton (line 8).
+	singleIdx := -1
+	singleCov := -1
+	for i, cand := range candidates {
+		if cand.Bytes() > memoryBudget {
+			continue
+		}
+		if c := cand.CoverageCount(); c > singleCov {
+			singleCov = c
+			singleIdx = i
+		}
+	}
+
+	if singleIdx >= 0 && singleCov > covered.Count() {
+		single := candidates[singleIdx]
+		return &Selection{
+			Chosen:        []*Calibration{single},
+			Bytes:         single.Bytes(),
+			Coverage:      singleCov,
+			UsedSingleton: true,
+		}, nil
+	}
+	if len(chosen) == 0 {
+		return nil, errors.New("core: no language fits the memory budget")
+	}
+	return &Selection{Chosen: chosen, Bytes: bytes, Coverage: covered.Count()}, nil
+}

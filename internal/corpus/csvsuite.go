@@ -1,0 +1,82 @@
+package corpus
+
+// handAuthored reproduces the error archetypes of Figures 1 and 2 of the
+// paper as explicitly labeled columns: an extra dot after a number, mixed
+// date formats, inconsistent weight units, a placeholder among scores, song
+// lengths with an outlier format, stray parentheses, an extra internal
+// space, and mixed phone formats.
+func handAuthored() []*Column {
+	return []*Column{
+		{Name: "fig1a-extra-dot", Domain: "num_mixed",
+			Values: []string{"1963", "1983.", "2008", "1976", "1865", "1999", "2013"},
+			Dirty:  []int{1}},
+		{Name: "fig1b-mixed-dates", Domain: "date_dot",
+			Values: []string{"2011.01.02", "2011.02.14", "2011.03.08", "2011/04/01", "2011.05.30", "2011.06.11"},
+			Dirty:  []int{3}},
+		{Name: "fig1c-weights", Domain: "measure_kg",
+			Values: []string{"72 kg", "81 kg", "64 kg", "154 lbs", "90 kg", "77 kg"},
+			Dirty:  []int{3}},
+		{Name: "fig1d-score-placeholder", Domain: "score",
+			Values: []string{"3-2", "1-0", "4-4", "-", "2-1", "0-0", "5-3"},
+			Dirty:  []int{3}},
+		{Name: "fig1e-song-lengths", Domain: "song_length",
+			Values: []string{"3:45", "4:02", "2:59", "3:11", "245", "4:40"},
+			Dirty:  []int{4}},
+		{Name: "fig1f-parenthesis", Domain: "int_small",
+			Values: []string{"12", "7", "(9)", "15", "3", "22", "8"},
+			Dirty:  []int{2}},
+		{Name: "fig1g-scores", Domain: "score",
+			Values: []string{"6-3", "7-5", "6-4", "6-7(4-7)", "6-2", "6-1"},
+			Dirty:  []int{3}},
+		{Name: "fig1h-mixed-dates-2", Domain: "date_iso",
+			Values: []string{"2014-05-01", "2014-06-12", "12/07/2014", "2014-08-23", "2014-09-30"},
+			Dirty:  []int{2}},
+		{Name: "fig2a-extra-space", Domain: "title",
+			Values: []string{"Quarterly Report", "Annual  Summary", "Budget Overview", "Sales Forecast"},
+			Dirty:  []int{1}},
+		{Name: "fig2b-mixed-phones", Domain: "phone_dash",
+			Values: []string{"425-555-0143", "206-555-0177", "(360) 555-0102", "509-555-0156"},
+			Dirty:  []int{2}},
+		{Name: "tbl4-triple-year", Domain: "year",
+			Values: []string{"2000", "1998", "1935/1982/2011", "2004", "2016"},
+			Dirty:  []int{2}},
+		{Name: "tbl4-date-vs-year", Domain: "year",
+			Values: []string{"2009", "2011", "27-11-2009", "2014", "2001"},
+			Dirty:  []int{2}},
+		{Name: "tbl4-thousands-typo", Domain: "int_comma_mixed",
+			Values: []string{"1,870", "587", "5875 CR", "912", "2,144"},
+			Dirty:  []int{2}},
+		{Name: "tbl4-trailing-dot-year", Domain: "year",
+			Values: []string{"1999", "2013.", "1963", "2008", "1976"},
+			Dirty:  []int{1}},
+	}
+}
+
+// CSVSuiteProfile is the generation profile for the remainder of the CSV
+// test suite: the small, messy demo spreadsheets used by data cleaning
+// tutorials, with a high planted-error rate.
+func csvSuiteProfile() Profile {
+	return Profile{
+		Name: "CSV",
+		Weights: map[string]float64{
+			"date_us": 2, "date_iso": 2, "int_plain": 2, "float2": 2,
+			"currency_usd": 2, "percent": 1.5, "person_name": 2, "city": 2,
+			"email": 2, "phone_dash": 1.5, "zip5": 1.5, "bool_yn": 1.5,
+		},
+		MinRows: 6, MaxRows: 25,
+		ErrorRate: 0.45,
+		Labeled:   true,
+	}
+}
+
+// CSVSuite returns the 441-column labeled test suite standing in for the
+// paper's 26 hand-labeled public CSV files: a handful of hand-authored
+// columns reproducing the exact error archetypes of Figures 1–2 and
+// Table 4, padded to 441 columns with generated messy-spreadsheet columns.
+func CSVSuite() *Corpus {
+	const total = 441
+	cols := handAuthored()
+	gen := Generate(csvSuiteProfile(), total-len(cols), 20180610) // SIGMOD'18 starts June 10
+	cols = append(cols, gen.Columns...)
+	return &Corpus{Name: "CSV", Columns: cols}
+}

@@ -1,0 +1,607 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Generator produces the n cell values of one column. A generator commits
+// to any per-column format choice (e.g. which date format) once, at the top
+// of the call, so a clean column never mixes incompatible formats.
+type Generator func(r *rand.Rand, n int) []string
+
+// domainSpec describes one value domain of the synthetic corpus.
+type domainSpec struct {
+	name string
+	// family groups mutually-incompatible format variants (different date
+	// formats, phone formats, units, ...). Mixing values across sibling
+	// domains of a family is a genuine data error; empty means no family.
+	family string
+	gen    Generator
+}
+
+var (
+	monthsLong  = []string{"January", "February", "March", "April", "May", "June", "July", "August", "September", "October", "November", "December"}
+	monthsShort = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	firstNames  = []string{"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah", "Wei", "Yuki", "Priya", "Omar", "Elena", "Lucas", "Ana", "Noah", "Zoe", "Liam", "Emma", "Mateo"}
+	lastNames   = []string{"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Chen", "Wang", "Kim", "Singh", "Patel", "Nguyen", "Kumar", "Ali", "Silva", "Santos", "Mueller", "Rossi"}
+	cityNames   = []string{"Seattle", "Houston", "Chicago", "Boston", "Denver", "Austin", "Portland", "Atlanta", "Phoenix", "Dallas", "Miami", "Detroit", "Memphis", "Nashville", "Baltimore", "Oakland", "Tucson", "Fresno", "Omaha", "Raleigh", "London", "Paris", "Berlin", "Madrid", "Tokyo", "Sydney", "Toronto", "Dublin", "Oslo", "Vienna"}
+	wordPool    = []string{"alpha", "bravo", "cargo", "delta", "ember", "falcon", "garden", "harbor", "indigo", "jasper", "kernel", "lumen", "meadow", "nectar", "onyx", "prairie", "quartz", "raven", "sierra", "tundra", "umber", "velvet", "willow", "xenon", "yonder", "zephyr", "anchor", "breeze", "canyon", "drift", "echo", "flint", "grove", "haven", "isle", "juniper", "knoll", "ledge", "marsh", "north"}
+	tlds        = []string{"com", "org", "net", "io", "edu", "gov", "co"}
+	teamNames   = []string{"Hawks", "Lions", "Bears", "Eagles", "Sharks", "Wolves", "Tigers", "Bulls", "Kings", "Giants", "Royals", "Pirates", "Rangers", "Saints", "Chiefs", "Jets"}
+	stateNames  = []string{"Washington", "Oregon", "California", "Nevada", "Arizona", "Texas", "Florida", "Georgia", "Virginia", "Ohio", "Michigan", "Illinois", "Indiana", "Colorado", "Utah", "Montana", "Idaho", "Kansas", "Iowa", "Missouri", "Kentucky", "Tennessee", "Alabama", "Maine", "Vermont", "Delaware", "Maryland", "Wyoming", "Nebraska", "Alaska"}
+)
+
+func ri(r *rand.Rand, lo, hi int) int { return lo + r.Intn(hi-lo+1) }
+
+// logUniform draws an integer with a log-uniform magnitude: digit count
+// uniform in [loDigits, hiDigits], then uniform within that decade. Real
+// table numbers are magnitude-diverse, not uniform — a uniform draw over
+// [0, 5e6] would make 4-digit values vanishingly rare and starve the
+// co-occurrence statistics of small comma-separated numbers.
+func logUniform(r *rand.Rand, loDigits, hiDigits int) int {
+	d := ri(r, loDigits, hiDigits)
+	lo := 1
+	for i := 1; i < d; i++ {
+		lo *= 10
+	}
+	hi := lo*10 - 1
+	if lo == 1 {
+		lo = 0
+	}
+	return ri(r, lo, hi)
+}
+
+func pick(r *rand.Rand, xs []string) string { return xs[r.Intn(len(xs))] }
+
+// commaInt renders v with thousands separators ("1,234,567").
+func commaInt(v int) string {
+	s := strconv.Itoa(v)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg, s = true, s[1:]
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead == 0 {
+		lead = 3
+	}
+	b.WriteString(s[:lead])
+	for i := lead; i < len(s); i += 3 {
+		b.WriteByte(',')
+		b.WriteString(s[i : i+3])
+	}
+	if neg {
+		return "-" + b.String()
+	}
+	return b.String()
+}
+
+// fill builds n values by calling f per row.
+func fill(n int, f func(i int) string) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = f(i)
+	}
+	return out
+}
+
+func genDate(layout func(y, m, d int) string) Generator {
+	return func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return layout(ri(r, 1950, 2025), ri(r, 1, 12), ri(r, 1, 28))
+		})
+	}
+}
+
+// domainTable lists every value domain of the synthetic corpus. The mixed
+// numeric domains deliberately combine formats that the paper observes to
+// be globally compatible (plain integers, comma-separated integers,
+// floating-point numbers: the Col-1/Col-2 discussion in the introduction),
+// while format families capture globally incompatible variants.
+var domainTable = []domainSpec{
+	{"int_small", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return strconv.Itoa(logUniform(r, 1, 3)) })
+	}},
+	{"int_plain", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return strconv.Itoa(logUniform(r, 1, 5)) })
+	}},
+	{"int_comma_mixed", "", func(r *rand.Rand, n int) []string {
+		// Col-1 of the paper: {0 .. 999, 1,000}: separators appear only
+		// for magnitudes ≥ 1000 and freely co-occur with plain integers.
+		return fill(n, func(int) string {
+			if r.Intn(2) == 0 {
+				return strconv.Itoa(logUniform(r, 1, 3))
+			}
+			return commaInt(logUniform(r, 4, 7))
+		})
+	}},
+	{"float2", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return fmt.Sprintf("%d.%02d", logUniform(r, 1, 4), r.Intn(100))
+		})
+	}},
+	{"num_mixed", "", func(r *rand.Rand, n int) []string {
+		// Col-2 of the paper: mostly integers with occasional floats.
+		return fill(n, func(int) string {
+			if r.Intn(5) == 0 {
+				return fmt.Sprintf("%.2f", r.Float64()*100)
+			}
+			return strconv.Itoa(r.Intn(100))
+		})
+	}},
+	{"currency_usd", "currency", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return "$" + commaInt(logUniform(r, 1, 7)) + fmt.Sprintf(".%02d", r.Intn(100))
+		})
+	}},
+	{"currency_code", "currency", func(r *rand.Rand, n int) []string {
+		code := pick(r, []string{"USD", "EUR", "GBP"})
+		return fill(n, func(int) string {
+			return commaInt(logUniform(r, 1, 7)) + fmt.Sprintf(".%02d ", r.Intn(100)) + code
+		})
+	}},
+	{"percent", "", func(r *rand.Rand, n int) []string {
+		// Whole and one-decimal percentages mix freely in real columns,
+		// like integers and floats do (the Col-2 discussion).
+		return fill(n, func(int) string {
+			if r.Intn(3) == 0 {
+				return fmt.Sprintf("%.1f%%", r.Float64()*100)
+			}
+			return strconv.Itoa(r.Intn(101)) + "%"
+		})
+	}},
+	{"year", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return strconv.Itoa(ri(r, 1900, 2026)) })
+	}},
+	{"year_range", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			y := ri(r, 1950, 2020)
+			return fmt.Sprintf("%d-%d", y, y+ri(r, 1, 6))
+		})
+	}},
+
+	{"date_iso", "date", genDate(func(y, m, d int) string { return fmt.Sprintf("%04d-%02d-%02d", y, m, d) })},
+	{"date_slash", "date", genDate(func(y, m, d int) string { return fmt.Sprintf("%04d/%02d/%02d", y, m, d) })},
+	{"date_dot", "date", genDate(func(y, m, d int) string { return fmt.Sprintf("%04d.%02d.%02d", y, m, d) })},
+	{"date_us", "date", genDate(func(y, m, d int) string { return fmt.Sprintf("%02d/%02d/%04d", m, d, y) })},
+	{"date_eu", "date", genDate(func(y, m, d int) string { return fmt.Sprintf("%02d-%02d-%04d", d, m, y) })},
+	{"date_long", "date", genDate(func(y, m, d int) string { return fmt.Sprintf("%s %d, %d", monthsLong[m-1], d, y) })},
+	{"date_med", "date", genDate(func(y, m, d int) string { return fmt.Sprintf("%d %s %d", d, monthsShort[m-1], y) })},
+	{"month_year", "date", func(r *rand.Rand, n int) []string {
+		long := r.Intn(2) == 0
+		return fill(n, func(int) string {
+			m := r.Intn(12)
+			if long {
+				return fmt.Sprintf("%s %d", monthsLong[m], ri(r, 1950, 2025))
+			}
+			return fmt.Sprintf("%s %d", monthsShort[m], ri(r, 1950, 2025))
+		})
+	}},
+
+	{"time_hm", "clock", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return fmt.Sprintf("%d:%02d", r.Intn(24), r.Intn(60)) })
+	}},
+	{"time_hms", "clock", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return fmt.Sprintf("%d:%02d:%02d", r.Intn(24), r.Intn(60), r.Intn(60))
+		})
+	}},
+	{"song_length", "clock", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return fmt.Sprintf("%d:%02d", ri(r, 1, 9), r.Intn(60)) })
+	}},
+	{"duration", "", func(r *rand.Rand, n int) []string {
+		minutes := r.Intn(2) == 0
+		return fill(n, func(int) string {
+			if minutes {
+				return fmt.Sprintf("%d min", ri(r, 1, 300))
+			}
+			return fmt.Sprintf("%dh %dm", ri(r, 0, 12), r.Intn(60))
+		})
+	}},
+
+	{"phone_paren", "phone", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return fmt.Sprintf("(%03d) %03d-%04d", ri(r, 200, 989), ri(r, 200, 999), r.Intn(10000))
+		})
+	}},
+	{"phone_dash", "phone", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return fmt.Sprintf("%03d-%03d-%04d", ri(r, 200, 989), ri(r, 200, 999), r.Intn(10000))
+		})
+	}},
+	{"phone_dot", "phone", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return fmt.Sprintf("%03d.%03d.%04d", ri(r, 200, 989), ri(r, 200, 999), r.Intn(10000))
+		})
+	}},
+	{"phone_intl", "phone", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return fmt.Sprintf("+1 %03d %03d %04d", ri(r, 200, 989), ri(r, 200, 999), r.Intn(10000))
+		})
+	}},
+
+	{"email", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return fmt.Sprintf("%s%d@%s.%s", pick(r, wordPool), r.Intn(100), pick(r, wordPool), pick(r, tlds))
+		})
+	}},
+	{"url", "", func(r *rand.Rand, n int) []string {
+		scheme := pick(r, []string{"http", "https"})
+		return fill(n, func(int) string {
+			return fmt.Sprintf("%s://www.%s.%s/%s", scheme, pick(r, wordPool), pick(r, tlds), pick(r, wordPool))
+		})
+	}},
+	{"ipv4", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return fmt.Sprintf("%d.%d.%d.%d", ri(r, 1, 255), r.Intn(256), r.Intn(256), ri(r, 1, 255))
+		})
+	}},
+
+	{"zip5", "zip", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return fmt.Sprintf("%05d", r.Intn(100000)) })
+	}},
+	{"zip9", "zip", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return fmt.Sprintf("%05d-%04d", r.Intn(100000), r.Intn(10000))
+		})
+	}},
+
+	{"code", "", func(r *rand.Rand, n int) []string {
+		letters := ri(r, 2, 3)
+		digits := ri(r, 3, 4)
+		return fill(n, func(int) string {
+			var b strings.Builder
+			for i := 0; i < letters; i++ {
+				b.WriteByte(byte('A' + r.Intn(26)))
+			}
+			b.WriteByte('-')
+			for i := 0; i < digits; i++ {
+				b.WriteByte(byte('0' + r.Intn(10)))
+			}
+			return b.String()
+		})
+	}},
+	{"sku", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			var b strings.Builder
+			for i := 0; i < 3; i++ {
+				b.WriteByte(byte('A' + r.Intn(26)))
+			}
+			for i := 0; i < 4; i++ {
+				b.WriteByte(byte('0' + r.Intn(10)))
+			}
+			return b.String()
+		})
+	}},
+	{"isbn", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return fmt.Sprintf("978-%d-%02d-%06d-%d", r.Intn(10), r.Intn(100), r.Intn(1000000), r.Intn(10))
+		})
+	}},
+	{"id_prefixed", "", func(r *rand.Rand, n int) []string {
+		prefix := pick(r, []string{"ID", "REQ", "INV", "PO"})
+		return fill(n, func(int) string { return fmt.Sprintf("%s-%05d", prefix, r.Intn(100000)) })
+	}},
+	{"uuid8", "", func(r *rand.Rand, n int) []string {
+		const hex = "0123456789abcdef"
+		return fill(n, func(int) string {
+			var b [8]byte
+			for i := range b {
+				b[i] = hex[r.Intn(16)]
+			}
+			return string(b[:])
+		})
+	}},
+	{"hex_color", "", func(r *rand.Rand, n int) []string {
+		const hex = "0123456789ABCDEF"
+		return fill(n, func(int) string {
+			var b [7]byte
+			b[0] = '#'
+			for i := 1; i < 7; i++ {
+				b[i] = hex[r.Intn(16)]
+			}
+			return string(b[:])
+		})
+	}},
+
+	{"score", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return fmt.Sprintf("%d-%d", r.Intn(15), r.Intn(15)) })
+	}},
+	{"record", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return fmt.Sprintf("%d-%d-%d", r.Intn(90), r.Intn(90), r.Intn(10)) })
+	}},
+	{"rank", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return ordinal(ri(r, 1, 99)) })
+	}},
+	{"ordinal_hash", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return "#" + strconv.Itoa(ri(r, 1, 99)) })
+	}},
+
+	{"person_name", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return pick(r, firstNames) + " " + pick(r, lastNames) })
+	}},
+	{"city", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return pick(r, cityNames) })
+	}},
+	{"us_state", "", func(r *rand.Rand, n int) []string {
+		// Full US state names. Pattern-wise indistinguishable from city
+		// names: mixing the two is a *semantic* error that only value-level
+		// co-occurrence (package semantic) can catch.
+		return fill(n, func(int) string { return pick(r, stateNames) })
+	}},
+	{"team", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return pick(r, cityNames) + " " + pick(r, teamNames) })
+	}},
+	{"word", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return pick(r, wordPool) })
+	}},
+	{"address", "", func(r *rand.Rand, n int) []string {
+		// Street addresses: digits and words mixed, highly length-diverse —
+		// a staple of real tables that couples numeric and textual runs.
+		suffixes := []string{"St", "Ave", "Rd", "Blvd", "Lane", "Way", "Drive"}
+		return fill(n, func(int) string {
+			w := pick(r, wordPool)
+			name := strings.ToUpper(w[:1]) + w[1:]
+			if r.Intn(3) == 0 {
+				w2 := pick(r, wordPool)
+				name += " " + strings.ToUpper(w2[:1]) + w2[1:]
+			}
+			return fmt.Sprintf("%d %s %s", logUniform(r, 1, 4), name, pick(r, suffixes))
+		})
+	}},
+	{"product", "", func(r *rand.Rand, n int) []string {
+		// Product/model names: capitalized word plus a number ("Falcon 9").
+		return fill(n, func(int) string {
+			w := pick(r, wordPool)
+			name := strings.ToUpper(w[:1]) + w[1:]
+			switch r.Intn(3) {
+			case 0:
+				return fmt.Sprintf("%s %d", name, logUniform(r, 1, 3))
+			case 1:
+				return fmt.Sprintf("%s %s %d", name, pick(r, []string{"Pro", "Max", "Mini", "Plus"}), logUniform(r, 1, 2))
+			default:
+				return name
+			}
+		})
+	}},
+	{"freetext", "", func(r *rand.Rand, n int) []string {
+		// Free-text cells (descriptions, comments): highly length-diverse
+		// within one column, like the text columns that dominate real web
+		// tables. This teaches heavily-generalizing languages that values
+		// of very different lengths routinely co-occur.
+		return fill(n, func(int) string {
+			k := ri(r, 1, 7)
+			parts := make([]string, k)
+			for i := range parts {
+				parts[i] = pick(r, wordPool)
+			}
+			s := strings.Join(parts, " ")
+			if r.Intn(2) == 0 {
+				s = strings.ToUpper(s[:1]) + s[1:]
+			}
+			return s
+		})
+	}},
+	{"title", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			k := ri(r, 2, 4)
+			parts := make([]string, k)
+			for i := range parts {
+				w := pick(r, wordPool)
+				parts[i] = strings.ToUpper(w[:1]) + w[1:]
+			}
+			return strings.Join(parts, " ")
+		})
+	}},
+
+	{"bool_yn", "bool", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return pick(r, []string{"Yes", "No"}) })
+	}},
+	{"bool_tf", "bool", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return pick(r, []string{"TRUE", "FALSE"}) })
+	}},
+
+	{"measure_kg", "measure", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return fmt.Sprintf("%d kg", ri(r, 40, 140)) })
+	}},
+	{"measure_lb", "measure", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return fmt.Sprintf("%d lbs", ri(r, 90, 310)) })
+	}},
+	{"temp_c", "temp", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return fmt.Sprintf("%.1f C", r.Float64()*40-5) }) // -5.0 .. 35.0
+	}},
+	{"temp_f", "temp", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return fmt.Sprintf("%.1f F", r.Float64()*80+20) })
+	}},
+
+	{"filesize", "", func(r *rand.Rand, n int) []string {
+		// Mixed units within a column are the norm for file sizes.
+		units := []string{"KB", "MB", "GB"}
+		return fill(n, func(int) string {
+			return fmt.Sprintf("%.1f %s", r.Float64()*900+1, pick(r, units))
+		})
+	}},
+	{"version_v", "version", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return fmt.Sprintf("v%d.%d.%d", r.Intn(10), r.Intn(20), r.Intn(30))
+		})
+	}},
+	{"version_plain", "version", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return fmt.Sprintf("%d.%d.%d", r.Intn(10), r.Intn(20), r.Intn(30))
+		})
+	}},
+	{"fraction", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string { return fmt.Sprintf("%d/%d", ri(r, 1, 15), ri(r, 2, 16)) })
+	}},
+	{"roman", "", func(r *rand.Rand, n int) []string {
+		numerals := []string{"I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X", "XI", "XII", "XIV", "XVI", "XX"}
+		return fill(n, func(int) string { return pick(r, numerals) })
+	}},
+	{"country_iso2", "country", func(r *rand.Rand, n int) []string {
+		codes := []string{"US", "DE", "FR", "GB", "JP", "CN", "IN", "BR", "CA", "AU", "IT", "ES", "NL", "SE", "NO", "MX", "KR", "PL", "CH", "AT"}
+		return fill(n, func(int) string { return pick(r, codes) })
+	}},
+	{"country_iso3", "country", func(r *rand.Rand, n int) []string {
+		codes := []string{"USA", "DEU", "FRA", "GBR", "JPN", "CHN", "IND", "BRA", "CAN", "AUS", "ITA", "ESP", "NLD", "SWE", "NOR", "MEX", "KOR", "POL", "CHE", "AUT"}
+		return fill(n, func(int) string { return pick(r, codes) })
+	}},
+	{"grade", "", func(r *rand.Rand, n int) []string {
+		letters := []string{"A", "B", "C", "D"}
+		return fill(n, func(int) string {
+			g := pick(r, letters)
+			switch r.Intn(3) {
+			case 0:
+				return g + "+"
+			case 1:
+				return g + "-"
+			default:
+				return g
+			}
+		})
+	}},
+	{"path_unix", "path", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			k := ri(r, 2, 4)
+			s := ""
+			for i := 0; i < k; i++ {
+				s += "/" + pick(r, wordPool)
+			}
+			return s
+		})
+	}},
+	{"path_windows", "path", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			k := ri(r, 2, 4)
+			s := "C:"
+			for i := 0; i < k; i++ {
+				s += `\` + pick(r, wordPool)
+			}
+			return s
+		})
+	}},
+	{"datetime_space", "datetime", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return fmt.Sprintf("%04d-%02d-%02d %02d:%02d", ri(r, 1990, 2025), ri(r, 1, 12), ri(r, 1, 28), r.Intn(24), r.Intn(60))
+		})
+	}},
+	{"datetime_t", "datetime", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return fmt.Sprintf("%04d-%02d-%02dT%02d:%02d", ri(r, 1990, 2025), ri(r, 1, 12), ri(r, 1, 28), r.Intn(24), r.Intn(60))
+		})
+	}},
+	{"money_compact", "", func(r *rand.Rand, n int) []string {
+		// "$1.2M" / "$340K" mix freely in real financial tables.
+		return fill(n, func(int) string {
+			if r.Intn(2) == 0 {
+				return fmt.Sprintf("$%dK", ri(r, 10, 999))
+			}
+			return fmt.Sprintf("$%.1fM", r.Float64()*99+0.1)
+		})
+	}},
+	{"age_range", "", func(r *rand.Rand, n int) []string {
+		lo := []int{18, 25, 35, 45, 55, 65}
+		return fill(n, func(int) string {
+			a := lo[r.Intn(len(lo))]
+			return fmt.Sprintf("%d-%d", a, a+9)
+		})
+	}},
+	{"paren_num", "", func(r *rand.Rand, n int) []string {
+		// Accounting convention: negatives in parentheses, mixed with plain.
+		return fill(n, func(int) string {
+			v := commaInt(logUniform(r, 1, 6))
+			if r.Intn(5) == 0 {
+				return "(" + v + ")"
+			}
+			return v
+		})
+	}},
+	{"coord", "", func(r *rand.Rand, n int) []string {
+		return fill(n, func(int) string {
+			return fmt.Sprintf("%.2f, %.2f", r.Float64()*180-90, r.Float64()*360-180)
+		})
+	}},
+}
+
+func ordinal(v int) string {
+	suffix := "th"
+	switch {
+	case v%100 >= 11 && v%100 <= 13:
+	case v%10 == 1:
+		suffix = "st"
+	case v%10 == 2:
+		suffix = "nd"
+	case v%10 == 3:
+		suffix = "rd"
+	}
+	return strconv.Itoa(v) + suffix
+}
+
+var (
+	domainIndex = func() map[string]int {
+		m := make(map[string]int, len(domainTable))
+		for i, d := range domainTable {
+			m[d.name] = i
+		}
+		return m
+	}()
+	familyMembers = func() map[string][]string {
+		m := map[string][]string{}
+		for _, d := range domainTable {
+			if d.family != "" {
+				m[d.family] = append(m[d.family], d.name)
+			}
+		}
+		return m
+	}()
+)
+
+// Domains returns the names of every value domain.
+func Domains() []string {
+	out := make([]string, len(domainTable))
+	for i, d := range domainTable {
+		out[i] = d.name
+	}
+	return out
+}
+
+// Family returns the incompatibility family of a domain ("" if none).
+func Family(domain string) string {
+	if i, ok := domainIndex[domain]; ok {
+		return domainTable[i].family
+	}
+	return ""
+}
+
+// Siblings returns the other domains in the domain's incompatibility
+// family, or nil if the domain has no family.
+func Siblings(domain string) []string {
+	fam := Family(domain)
+	if fam == "" {
+		return nil
+	}
+	var out []string
+	for _, m := range familyMembers[fam] {
+		if m != domain {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// GenerateColumn generates one clean column of n values from the named
+// domain. It returns an error for unknown domains.
+func GenerateColumn(r *rand.Rand, domain string, n int) (*Column, error) {
+	i, ok := domainIndex[domain]
+	if !ok {
+		return nil, fmt.Errorf("corpus: unknown domain %q", domain)
+	}
+	return &Column{
+		Name:   domain,
+		Domain: domain,
+		Values: domainTable[i].gen(r, n),
+	}, nil
+}

@@ -1,0 +1,163 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Profile parameterizes corpus generation: which domains appear with what
+// relative frequency, how long columns are, and how often a labeled error
+// is planted.
+type Profile struct {
+	// Name identifies the profile (WEB, WIKI, ...).
+	Name string
+	// Weights gives the relative frequency of each domain. Domains missing
+	// from the map get weight 1; a weight of 0 removes the domain.
+	Weights map[string]float64
+	// MinRows and MaxRows bound the (uniform) column length.
+	MinRows, MaxRows int
+	// ErrorRate is the per-column probability of planting one error.
+	ErrorRate float64
+	// Labeled marks generated columns with ground truth (Dirty non-nil).
+	Labeled bool
+}
+
+// WebProfile models the paper's WEB training corpus: broad domain coverage,
+// clean (it is the co-occurrence training set).
+func WebProfile() Profile {
+	return Profile{
+		Name: "WEB",
+		Weights: map[string]float64{
+			"int_small": 2, "int_plain": 2, "int_comma_mixed": 2, "num_mixed": 2,
+			"year": 2, "word": 2, "title": 2.5, "person_name": 2.5,
+			"freetext": 3, "city": 1.5, "uuid8": 2, "address": 2, "product": 2,
+		},
+		MinRows: 5, MaxRows: 40,
+	}
+}
+
+// PubXLSProfile models the public spreadsheet corpus: like WEB but tilted
+// toward numeric and business-flavoured columns.
+func PubXLSProfile() Profile {
+	return Profile{
+		Name: "Pub-XLS",
+		Weights: map[string]float64{
+			"int_plain": 3, "float2": 3, "currency_usd": 2, "percent": 2,
+			"date_us": 2, "num_mixed": 2, "paren_num": 2, "id_prefixed": 1.5,
+		},
+		MinRows: 5, MaxRows: 40,
+	}
+}
+
+// WikiProfile models the Wikipedia test corpus: heavy on dates, years,
+// scores, names, titles and song lengths (the content of Figure 1), with
+// the paper's measured ~2.2% dirty-column rate when errors are enabled.
+func WikiProfile() Profile {
+	return Profile{
+		Name: "WIKI",
+		Weights: map[string]float64{
+			"date_iso": 2.5, "date_slash": 1.5, "date_us": 1.5, "date_long": 2, "date_med": 1.5,
+			"year": 3, "year_range": 1.5, "score": 2, "record": 1.5, "rank": 2,
+			"person_name": 2.5, "title": 2.5, "team": 2, "city": 2,
+			"song_length": 2, "int_small": 2, "int_comma_mixed": 2, "month_year": 1.5,
+		},
+		MinRows: 5, MaxRows: 40,
+		ErrorRate: 0.022,
+		Labeled:   true,
+	}
+}
+
+// EntXLSProfile models the proprietary enterprise spreadsheet corpus:
+// dominated by numeric, currency, percentage, date and identifier columns,
+// with a higher error rate (the paper reports professionally produced
+// spreadsheets still contain frequent errors).
+func EntXLSProfile() Profile {
+	return Profile{
+		Name: "Ent-XLS",
+		Weights: map[string]float64{
+			"int_plain": 3, "float2": 3, "num_mixed": 2.5, "currency_usd": 3,
+			"currency_code": 1.5, "percent": 2.5, "paren_num": 2.5, "date_us": 2,
+			"date_iso": 1.5, "id_prefixed": 3, "code": 2, "sku": 2, "email": 2,
+			"phone_paren": 1.5, "phone_dash": 1.5, "zip5": 1.5, "bool_yn": 1.5,
+			"money_compact": 2, "filesize": 1.5, "version_v": 1.5, "path_unix": 1.5,
+			"datetime_space": 1.5,
+		},
+		MinRows: 5, MaxRows: 40,
+		ErrorRate: 0.03,
+		Labeled:   true,
+	}
+}
+
+// Generate produces a corpus of numColumns columns under the profile,
+// deterministically for a given seed.
+func Generate(p Profile, numColumns int, seed int64) *Corpus {
+	r := rand.New(rand.NewSource(seed))
+	names, cum := cumulativeWeights(p.Weights)
+	c := &Corpus{Name: p.Name, Columns: make([]*Column, 0, numColumns)}
+	minRows, maxRows := p.MinRows, p.MaxRows
+	if minRows < 2 {
+		minRows = 2
+	}
+	if maxRows < minRows {
+		maxRows = minRows
+	}
+	for i := 0; i < numColumns; i++ {
+		domain := names[sampleCumulative(r, cum)]
+		n := ri(r, minRows, maxRows)
+		col, err := GenerateColumn(r, domain, n)
+		if err != nil {
+			// Unreachable: names come from the domain table.
+			panic(err)
+		}
+		if p.Labeled {
+			col.Dirty = []int{}
+		}
+		if p.ErrorRate > 0 && r.Float64() < p.ErrorRate {
+			InjectError(r, col)
+		}
+		c.Columns = append(c.Columns, col)
+	}
+	return c
+}
+
+// cumulativeWeights resolves profile weights against the domain table and
+// returns domain names with their cumulative weight prefix sums.
+func cumulativeWeights(weights map[string]float64) ([]string, []float64) {
+	names := Domains()
+	sort.Strings(names)
+	var keep []string
+	var cum []float64
+	total := 0.0
+	for _, name := range names {
+		w := 1.0
+		if ww, ok := weights[name]; ok {
+			w = ww
+		}
+		if w <= 0 {
+			continue
+		}
+		total += w
+		keep = append(keep, name)
+		cum = append(cum, total)
+	}
+	if len(keep) == 0 {
+		panic(fmt.Sprintf("corpus: profile removes every domain (weights: %v)", weights))
+	}
+	return keep, cum
+}
+
+// sampleCumulative draws an index proportionally to the prefix-sum weights.
+func sampleCumulative(r *rand.Rand, cum []float64) int {
+	x := r.Float64() * cum[len(cum)-1]
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,95 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/pattern"
+)
+
+// placeholders are junk values commonly left in real tables (the "score
+// placeholder" of Figure 1(d) and friends).
+var placeholders = []string{"-", "--", "N/A", "n/a", "?", "TBD", "NULL"}
+
+// InjectError corrupts one value of the column with a realistic
+// single-column error of the kinds surfaced by the paper (Figures 1 and 2):
+// a format swapped with a sibling of the domain's incompatibility family
+// (mixed dates, mixed phones, mixed units...), an extra dot or space,
+// doubled separators, placeholders, or merged cells. The corrupted index is
+// appended to Dirty. It returns the name of the corruption applied, or ""
+// if the column was too small to corrupt.
+func InjectError(r *rand.Rand, col *Column) string {
+	if len(col.Values) < 3 {
+		return ""
+	}
+	i := r.Intn(len(col.Values))
+	orig := col.Values[i]
+	crude := pattern.Crude()
+	origPat := crude.Generalize(orig)
+
+	// Prefer a format swap when the domain has incompatible siblings.
+	if sibs := Siblings(col.Domain); len(sibs) > 0 && r.Intn(10) < 6 {
+		for attempt := 0; attempt < 4; attempt++ {
+			sib := sibs[r.Intn(len(sibs))]
+			alt, err := GenerateColumn(r, sib, 1)
+			if err == nil && crude.Generalize(alt.Values[0]) != origPat {
+				col.Values[i] = alt.Values[0]
+				col.Dirty = append(col.Dirty, i)
+				return "format-swap:" + sib
+			}
+		}
+	}
+
+	type corruption struct {
+		name  string
+		apply func(v string) (string, bool)
+	}
+	other := col.Values[(i+1)%len(col.Values)]
+	cands := []corruption{
+		{"extra-dot", func(v string) (string, bool) { return v + ".", true }},
+		{"leading-space", func(v string) (string, bool) { return " " + v, true }},
+		{"trailing-space", func(v string) (string, bool) { return v + " ", true }},
+		{"double-symbol", func(v string) (string, bool) {
+			for j, c := range v {
+				if pattern.Categorize(c) == pattern.CatSymbol {
+					return v[:j+len(string(c))] + string(c) + v[j+len(string(c)):], true
+				}
+			}
+			return "", false
+		}},
+		{"placeholder", func(v string) (string, bool) {
+			return placeholders[r.Intn(len(placeholders))], true
+		}},
+		{"merged-cells", func(v string) (string, bool) { return v + " " + other, true }},
+		{"truncated", func(v string) (string, bool) {
+			rs := []rune(v)
+			if len(rs) < 3 {
+				return "", false
+			}
+			return string(rs[:len(rs)/2]) + ".", true
+		}},
+		{"internal-double-space", func(v string) (string, bool) {
+			j := strings.Index(v, " ")
+			if j < 0 {
+				return "", false
+			}
+			return v[:j] + "  " + v[j+1:], true
+		}},
+	}
+	// Try corruptions in random order until one changes the crude pattern
+	// (a corruption invisible at the crude level is not a usable label).
+	r.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
+	for _, c := range cands {
+		nv, ok := c.apply(orig)
+		if !ok || nv == orig {
+			continue
+		}
+		if crude.Generalize(nv) == origPat {
+			continue
+		}
+		col.Values[i] = nv
+		col.Dirty = append(col.Dirty, i)
+		return c.name
+	}
+	return ""
+}

@@ -1,0 +1,75 @@
+package eval
+
+import "testing"
+
+func TestCdfAt(t *testing.T) {
+	sorted := []float64{-1, -0.5, 0, 0, 0.5, 1}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{-2, 0}, {-1, 1.0 / 6}, {-0.5, 2.0 / 6}, {0, 4.0 / 6}, {0.9, 5.0 / 6}, {1, 1},
+	}
+	for _, c := range cases {
+		if got := cdfAt(sorted, c.x); got != c.want {
+			t.Errorf("cdfAt(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if cdfAt(nil, 0) != 0 {
+		t.Error("empty distribution should be 0")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int]string{
+		512:       "512B",
+		2 << 10:   "2.0KB",
+		3 << 20:   "3.0MB",
+		(3 << 30): "3.0GB",
+	}
+	for in, want := range cases {
+		if got := formatBytes(in); got != want {
+			t.Errorf("formatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestKHeaderAndGridHeader(t *testing.T) {
+	ks := kHeader([]int{10, 100})
+	if len(ks) != 2 || ks[0] != "p@10" || ks[1] != "p@100" {
+		t.Errorf("kHeader = %v", ks)
+	}
+	gs := gridHeader([]float64{-1, 0.5})
+	if len(gs) != 2 || gs[0] != "≤-1.0" || gs[1] != "≤+0.5" {
+		t.Errorf("gridHeader = %v", gs)
+	}
+}
+
+func TestResultRow(t *testing.T) {
+	r := Result{Method: "m", PrecisionAt: map[int]float64{5: 0.5, 10: 1}}
+	row := resultRow(r, []int{5, 10})
+	if len(row) != 3 || row[0] != "m" || row[1] != "0.500" || row[2] != "1.000" {
+		t.Errorf("resultRow = %v", row)
+	}
+}
+
+func TestScalesSane(t *testing.T) {
+	for _, s := range []Scale{SmallScale(), FullScale()} {
+		if s.TrainColumns <= 0 || s.TestColumns <= 0 || s.DirtyCases <= 0 {
+			t.Errorf("%s: zero sizes", s.Name)
+		}
+		if len(s.CorpusKs) == 0 || len(s.CaseKs) == 0 || len(s.CSVKs) == 0 {
+			t.Errorf("%s: missing k grids", s.Name)
+		}
+		if len(s.MemoryBudgets) < 2 || len(s.SketchRatios) < 2 || len(s.SmoothingFactors) < 2 {
+			t.Errorf("%s: missing sweep points", s.Name)
+		}
+	}
+}
+
+func TestAutoCasesUnknownCorpus(t *testing.T) {
+	s := NewSuite(SmallScale(), 1)
+	if _, err := s.autoCases("nope", 1); err == nil {
+		t.Error("unknown corpus should error")
+	}
+}

@@ -1,0 +1,162 @@
+package pattern
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Run is a maximal sequence of consecutive characters of one base category
+// within a value.
+type Run struct {
+	// Cat is the base category of every character in the run.
+	Cat Category
+	// Text is the literal text of the run.
+	Text string
+	// N is the number of runes in the run.
+	N int
+}
+
+// Runs is the category-run encoding of a value. Encoding a value once and
+// generalizing the runs under many languages (FromRuns) avoids re-scanning
+// the string per language, which matters when building statistics for all
+// 144 candidate languages.
+type Runs []Run
+
+// Encode splits v into category runs.
+func Encode(v string) Runs {
+	var out Runs
+	start := 0
+	n := 0
+	var cur Category = numCategories // sentinel
+	for i, r := range v {
+		c := Categorize(r)
+		if c != cur {
+			if n > 0 {
+				out = append(out, Run{Cat: cur, Text: v[start:i], N: n})
+			}
+			cur = c
+			start = i
+			n = 0
+		}
+		n++
+	}
+	if n > 0 {
+		out = append(out, Run{Cat: cur, Text: v[start:], N: n})
+	}
+	return out
+}
+
+// FromRuns generalizes a category-run encoded value under the language,
+// producing exactly the same pattern as Generalize on the original string.
+func (l Language) FromRuns(rs Runs) string {
+	var b strings.Builder
+	prev := Token(255)
+	run := 0
+	flush := func() {
+		if run == 0 {
+			return
+		}
+		b.WriteString(prev.String())
+		if run > 1 {
+			b.WriteByte('[')
+			b.WriteString(strconv.Itoa(run))
+			b.WriteByte(']')
+		}
+		run = 0
+	}
+	for _, r := range rs {
+		t := l.token(r.Cat)
+		if t == TokenLeaf {
+			flush()
+			prev = Token(255)
+			b.WriteString(r.Text)
+			continue
+		}
+		if t == prev {
+			run += r.N
+			continue
+		}
+		flush()
+		prev = t
+		run = r.N
+	}
+	flush()
+	return b.String()
+}
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash64 returns the FNV-1a hash of s, the same function HashRuns streams.
+func Hash64(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnvByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime64
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+// HashRuns returns Hash64(l.FromRuns(rs)) without materializing the pattern
+// string. This is the allocation-free hot path used when building corpus
+// statistics for all 144 candidate languages.
+func (l Language) HashRuns(rs Runs) uint64 {
+	h := uint64(fnvOffset64)
+	prev := Token(255)
+	run := 0
+	flush := func() {
+		if run == 0 {
+			return
+		}
+		h = fnvString(h, prev.String())
+		if run > 1 {
+			h = fnvByte(h, '[')
+			// Decimal digits of run, most significant first.
+			var digits [20]byte
+			n := 0
+			for v := run; v > 0; v /= 10 {
+				digits[n] = byte('0' + v%10)
+				n++
+			}
+			for i := n - 1; i >= 0; i-- {
+				h = fnvByte(h, digits[i])
+			}
+			h = fnvByte(h, ']')
+		}
+		run = 0
+	}
+	for _, r := range rs {
+		t := l.token(r.Cat)
+		if t == TokenLeaf {
+			flush()
+			prev = Token(255)
+			h = fnvString(h, r.Text)
+			continue
+		}
+		if t == prev {
+			run += r.N
+			continue
+		}
+		flush()
+		prev = t
+		run = r.N
+	}
+	flush()
+	return h
+}

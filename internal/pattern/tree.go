@@ -1,0 +1,99 @@
+package pattern
+
+// Node is a node of a generalization tree (Definition 1). Each leaf
+// corresponds to a single character of the alphabet; each intermediate node
+// represents the union of the characters of its children.
+type Node struct {
+	// Label is the pattern-syntax name of the node (`\A`, `\L`, ...) or the
+	// character itself for leaves.
+	Label string
+	// Token is the Token constant for class nodes, TokenLeaf for leaves.
+	Token Token
+	// Children are the node's children; empty for leaves.
+	Children []*Node
+}
+
+// IsLeaf reports whether the node is a leaf of the tree.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Leaves returns the leaf labels under n in depth-first order.
+func (n *Node) Leaves() []string {
+	if n.IsLeaf() {
+		return []string{n.Label}
+	}
+	var out []string
+	for _, c := range n.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// Depth returns the height of the subtree rooted at n (a leaf has depth 1).
+func (n *Node) Depth() int {
+	d := 0
+	for _, c := range n.Children {
+		if cd := c.Depth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// DefaultTree builds the generalization tree of Figure 3 over the printable
+// ASCII alphabet:
+//
+//	\A ── \L ── \U ── 'A'..'Z'
+//	  │      └─ \l ── 'a'..'z'
+//	  ├── \D ── '0'..'9'
+//	  └── \S ── all printable symbols and space
+//
+// The tree is only used for documentation, validation and tests; the hot
+// path works directly on Language mappings.
+func DefaultTree() *Node {
+	leafRange := func(lo, hi rune) []*Node {
+		var out []*Node
+		for r := lo; r <= hi; r++ {
+			out = append(out, &Node{Label: string(r), Token: TokenLeaf})
+		}
+		return out
+	}
+	upper := &Node{Label: `\U`, Token: TokenUpper, Children: leafRange('A', 'Z')}
+	lower := &Node{Label: `\l`, Token: TokenLower, Children: leafRange('a', 'z')}
+	letter := &Node{Label: `\L`, Token: TokenLetter, Children: []*Node{upper, lower}}
+	digit := &Node{Label: `\D`, Token: TokenDigit, Children: leafRange('0', '9')}
+	var symLeaves []*Node
+	for r := rune(' '); r < 127; r++ {
+		if Categorize(r) == CatSymbol {
+			symLeaves = append(symLeaves, &Node{Label: string(r), Token: TokenLeaf})
+		}
+	}
+	symbol := &Node{Label: `\S`, Token: TokenSymbol, Children: symLeaves}
+	return &Node{Label: `\A`, Token: TokenAny, Children: []*Node{letter, digit, symbol}}
+}
+
+// CategoryPath returns, for a base category, the chain of tree nodes from
+// the category's class node up to the root, i.e. the legal generalization
+// targets for that category (excluding the leaf level).
+func CategoryPath(c Category) []Token {
+	switch c {
+	case CatUpper:
+		return []Token{TokenUpper, TokenLetter, TokenAny}
+	case CatLower:
+		return []Token{TokenLower, TokenLetter, TokenAny}
+	case CatDigit:
+		return []Token{TokenDigit, TokenAny}
+	default:
+		return []Token{TokenSymbol, TokenAny}
+	}
+}
+
+// CandidateCount returns the number of candidate languages under the
+// class-level restriction (each category picks leaf or a node on its path
+// to the root): (3+1)·(3+1)·(2+1)·(2+1) = 144.
+func CandidateCount() int {
+	n := 1
+	for c := Category(0); c < numCategories; c++ {
+		n *= len(CategoryPath(c)) + 1
+	}
+	return n
+}

@@ -1,0 +1,86 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestColumnBasics(t *testing.T) {
+	p := Column([]string{"3-2", "1-0", "4-4", "", "12-3", "3-2"})
+	if p.Rows != 6 || p.Empty != 1 || p.Distinct != 4 {
+		t.Errorf("rows/empty/distinct = %d/%d/%d", p.Rows, p.Empty, p.Distinct)
+	}
+	if len(p.Shapes) != 1 || p.Shapes[0].Shape != `\D-\D` || p.Shapes[0].Count != 5 {
+		t.Errorf("shapes = %+v", p.Shapes)
+	}
+	if p.MinLen != 3 || p.MaxLen != 4 {
+		t.Errorf("lengths %d-%d", p.MinLen, p.MaxLen)
+	}
+	if p.DigitPct < 50 || p.SymbolPct <= 0 || p.LetterPct != 0 {
+		t.Errorf("class mix = %.0f/%.0f/%.0f", p.LetterPct, p.DigitPct, p.SymbolPct)
+	}
+	if p.NumericShare != 0 {
+		t.Errorf("scores are not numeric, share = %v", p.NumericShare)
+	}
+}
+
+func TestColumnShapesRanked(t *testing.T) {
+	p := Column([]string{"2011-01-02", "2012-03-04", "2013-05-06", "Jan 2011", "-"})
+	if len(p.Shapes) != 3 {
+		t.Fatalf("shapes = %+v", p.Shapes)
+	}
+	if p.Shapes[0].Shape != `\D-\D-\D` || p.Shapes[0].Count != 3 {
+		t.Errorf("dominant shape = %+v", p.Shapes[0])
+	}
+	for i := 1; i < len(p.Shapes); i++ {
+		if p.Shapes[i].Count > p.Shapes[i-1].Count {
+			t.Error("shapes not ranked")
+		}
+	}
+}
+
+func TestNumericShare(t *testing.T) {
+	p := Column([]string{"1,000", "250", "3.14", "abc"})
+	if p.NumericShare != 0.75 {
+		t.Errorf("numeric share = %v", p.NumericShare)
+	}
+}
+
+func TestLengthHistogram(t *testing.T) {
+	values := make([]string, 0, 40)
+	for i := 0; i < 40; i++ {
+		values = append(values, strings.Repeat("x", 1+i%20))
+	}
+	p := Column(values)
+	if len(p.LengthHistogram) == 0 || len(p.LengthHistogram) > 8 {
+		t.Fatalf("histogram buckets = %d", len(p.LengthHistogram))
+	}
+	total := 0
+	for _, b := range p.LengthHistogram {
+		total += b.Count
+	}
+	if total != 40 {
+		t.Errorf("histogram total = %d", total)
+	}
+}
+
+func TestEmptyColumn(t *testing.T) {
+	p := Column(nil)
+	if p.Rows != 0 || p.Distinct != 0 || len(p.Shapes) != 0 {
+		t.Errorf("empty profile = %+v", p)
+	}
+	all := Column([]string{"", "  "})
+	if all.Empty != 2 || all.Distinct != 0 {
+		t.Errorf("blank-only profile = %+v", all)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := Column([]string{"2011-01-02", "2012-03-04", "Jan 2011", "1,000"})
+	s := p.String()
+	for _, want := range []string{"rows 4", "distinct 4", "shapes:", "lengths:", `\D-\D-\D`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

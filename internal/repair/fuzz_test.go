@@ -1,0 +1,34 @@
+package repair
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSuggest checks that repair never panics and that any suggestion it
+// makes is non-empty, differs from the flagged value, and is reasonably
+// formed.
+func FuzzSuggest(f *testing.F) {
+	f.Add("2011-01-02|2012-05-14|2013-11-30", "2011/06/20")
+	f.Add("72 kg|81 kg|64 kg", "154 lbs")
+	f.Add("1200|450|98000", "1,000")
+	f.Add("", "")
+	f.Add("|||", "x")
+	f.Fuzz(func(t *testing.T, colSpec, flagged string) {
+		column := strings.Split(colSpec, "|")
+		column = append(column, flagged)
+		s, ok := Suggest(column, flagged)
+		if !ok {
+			return
+		}
+		if s.Proposed == "" || s.Proposed == flagged {
+			t.Fatalf("degenerate suggestion %+v", s)
+		}
+		if s.Rule == "" || s.Confidence < 0 || s.Confidence > 1 {
+			t.Fatalf("malformed suggestion %+v", s)
+		}
+		if s.Original != flagged {
+			t.Fatalf("original mismatch %+v", s)
+		}
+	})
+}

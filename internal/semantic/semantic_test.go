@@ -1,0 +1,127 @@
+package semantic
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+var (
+	semOnce  sync.Once
+	semModel *Model
+	semErr   error
+)
+
+func sharedModel(t *testing.T) *Model {
+	t.Helper()
+	semOnce.Do(func() {
+		c := corpus.Generate(corpus.WebProfile(), 6000, 21)
+		semModel, semErr = Train(c, DefaultConfig())
+	})
+	if semErr != nil {
+		t.Fatal(semErr)
+	}
+	return semModel
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, DefaultConfig()); err == nil {
+		t.Error("nil corpus should error")
+	}
+	if _, err := Train(&corpus.Corpus{}, DefaultConfig()); err == nil {
+		t.Error("empty corpus should error")
+	}
+	// A corpus of all-unique values has nothing above support.
+	c := &corpus.Corpus{Columns: []*corpus.Column{
+		{Values: []string{"aaa1", "bbb2"}}, {Values: []string{"ccc3", "ddd4"}},
+	}}
+	if _, err := Train(c, DefaultConfig()); err == nil {
+		t.Error("unsupported corpus should error")
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := sharedModel(t)
+	if !m.Supported("Washington") || !m.Supported("Seattle") {
+		t.Fatal("common values should be supported")
+	}
+	if m.Supported("zzz-never-seen") {
+		t.Error("unseen value supported")
+	}
+	if m.SupportedValues() < 100 {
+		t.Errorf("only %d supported values", m.SupportedValues())
+	}
+}
+
+func TestValueLevelNPMI(t *testing.T) {
+	m := sharedModel(t)
+	states, ok := m.NPMI("Washington", "Oregon")
+	if !ok {
+		t.Fatal("states should be supported")
+	}
+	mixed, ok := m.NPMI("Washington", "Seattle")
+	if !ok {
+		t.Fatal("city should be supported")
+	}
+	if states <= 0 {
+		t.Errorf("NPMI(Washington, Oregon) = %v, want > 0 (states co-occur)", states)
+	}
+	if mixed >= states {
+		t.Errorf("state-city NPMI %v should be below state-state %v", mixed, states)
+	}
+	if s, _ := m.NPMI("Washington", "Washington"); s != 1 {
+		t.Error("identical values should score 1")
+	}
+	if _, ok := m.NPMI("Washington", "zzz-never-seen"); ok {
+		t.Error("unsupported value should report !ok")
+	}
+}
+
+// TestDetectsSemanticMixing: "Seattle" among states is invisible to
+// pattern-level detection (identical `\U\l+` shapes) but must be caught at
+// the value level.
+func TestDetectsSemanticMixing(t *testing.T) {
+	m := sharedModel(t)
+	col := []string{"Washington", "Oregon", "Texas", "Florida", "Ohio", "Seattle", "Nevada", "Utah"}
+	findings := m.DetectColumn(col)
+	if len(findings) == 0 {
+		t.Fatal("no findings on the mixed column")
+	}
+	if findings[0].Value != "Seattle" {
+		t.Errorf("top finding = %q (%.2f vs %q), want Seattle",
+			findings[0].Value, findings[0].Confidence, findings[0].Partner)
+	}
+	if findings[0].Index != 5 {
+		t.Errorf("index = %d", findings[0].Index)
+	}
+}
+
+func TestCleanColumnsQuiet(t *testing.T) {
+	m := sharedModel(t)
+	clean := [][]string{
+		{"Washington", "Oregon", "Texas", "Florida", "Ohio"},
+		{"Seattle", "Boston", "Denver", "Austin", "Miami"},
+	}
+	for _, col := range clean {
+		for _, f := range m.DetectColumn(col) {
+			if f.Confidence > 0.5 {
+				t.Errorf("flagged %q in clean column %v (%.2f)", f.Value, col, f.Confidence)
+			}
+		}
+	}
+}
+
+func TestDetectColumnDegenerate(t *testing.T) {
+	m := sharedModel(t)
+	if m.DetectColumn(nil) != nil {
+		t.Error("nil column")
+	}
+	if m.DetectColumn([]string{"Washington", "Oregon"}) != nil {
+		t.Error("two supported values are not enough for a verdict")
+	}
+	// Columns of unsupported values yield nothing.
+	if m.DetectColumn([]string{"q1x", "q2x", "q3x", "q4x"}) != nil {
+		t.Error("unsupported column should be silent")
+	}
+}

@@ -1,0 +1,245 @@
+// Package service exposes a trained Auto-Detect model over HTTP — the
+// "spell-checker for data" deployment the paper targets (error detection
+// as an always-on background service; Appendix G discusses the background
+// execution mode). The API is JSON over four endpoints:
+//
+//	GET  /v1/health        → model summary
+//	POST /v1/check-column  → findings for one column
+//	POST /v1/check-table   → findings for every column of a table
+//	POST /v1/check-pair    → verdict for a single value pair
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/repair"
+	"repro/internal/semantic"
+)
+
+// Server serves error-detection requests from a trained detector and an
+// optional value-level semantic model.
+type Server struct {
+	det *core.Detector
+	sem *semantic.Model
+
+	// MaxValues bounds the accepted column length (default 10000).
+	MaxValues int
+}
+
+// New returns a server; sem may be nil to disable value-level checks.
+func New(det *core.Detector, sem *semantic.Model) *Server {
+	return &Server{det: det, sem: sem, MaxValues: 10000}
+}
+
+// Finding mirrors core.Finding for JSON.
+type Finding struct {
+	Value      string  `json:"value"`
+	Index      int     `json:"index"`
+	Partner    string  `json:"partner"`
+	Confidence float64 `json:"confidence"`
+	// Kind is "pattern" or "semantic".
+	Kind string `json:"kind"`
+	// Suggestion, when non-empty, proposes a repaired value rendered in
+	// the column's dominant format; SuggestionRule names the repair.
+	Suggestion     string `json:"suggestion,omitempty"`
+	SuggestionRule string `json:"suggestion_rule,omitempty"`
+}
+
+// columnRequest is the body of /v1/check-column.
+type columnRequest struct {
+	Values []string `json:"values"`
+	// MinConfidence filters findings (default 0.5).
+	MinConfidence float64 `json:"min_confidence"`
+}
+
+// columnResponse is the body of /v1/check-column responses.
+type columnResponse struct {
+	Findings []Finding `json:"findings"`
+}
+
+// tableRequest is the body of /v1/check-table.
+type tableRequest struct {
+	Columns       map[string][]string `json:"columns"`
+	MinConfidence float64             `json:"min_confidence"`
+}
+
+// tableResponse maps column names to findings.
+type tableResponse struct {
+	Columns map[string][]Finding `json:"columns"`
+}
+
+// pairRequest is the body of /v1/check-pair.
+type pairRequest struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// pairResponse is the body of /v1/check-pair responses.
+type pairResponse struct {
+	Incompatible bool    `json:"incompatible"`
+	Confidence   float64 `json:"confidence"`
+	ByLanguage   []struct {
+		LanguageID int     `json:"language_id"`
+		NPMI       float64 `json:"npmi"`
+		Fires      bool    `json:"fires"`
+		Precision  float64 `json:"precision"`
+	} `json:"by_language"`
+}
+
+// healthResponse is the body of /v1/health responses.
+type healthResponse struct {
+	Status    string `json:"status"`
+	Languages int    `json:"languages"`
+	Bytes     int    `json:"bytes"`
+	Semantic  bool   `json:"semantic"`
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/health", s.handleHealth)
+	mux.HandleFunc("/v1/check-column", s.handleColumn)
+	mux.HandleFunc("/v1/check-table", s.handleTable)
+	mux.HandleFunc("/v1/check-pair", s.handlePair)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:    "ok",
+		Languages: len(s.det.Languages()),
+		Bytes:     s.det.Bytes(),
+		Semantic:  s.sem != nil,
+	})
+}
+
+// checkColumn runs both detectors over a column.
+func (s *Server) checkColumn(values []string, minConf float64) []Finding {
+	if minConf == 0 {
+		minConf = 0.5
+	}
+	var out []Finding
+	for _, f := range s.det.DetectColumn(values) {
+		if f.Confidence < minConf {
+			continue
+		}
+		sf := Finding{
+			Value: f.Value, Index: f.Index, Partner: f.Partner,
+			Confidence: f.Confidence, Kind: "pattern",
+		}
+		if sug, ok := repair.Suggest(values, f.Value); ok {
+			sf.Suggestion = sug.Proposed
+			sf.SuggestionRule = sug.Rule
+		}
+		out = append(out, sf)
+	}
+	if s.sem != nil {
+		for _, f := range s.sem.DetectColumn(values) {
+			if f.Confidence < minConf {
+				continue
+			}
+			out = append(out, Finding{
+				Value: f.Value, Index: f.Index, Partner: f.Partner,
+				Confidence: f.Confidence, Kind: "semantic",
+			})
+		}
+	}
+	return out
+}
+
+func (s *Server) handleColumn(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req columnRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Values) == 0 {
+		writeErr(w, http.StatusBadRequest, "values is empty")
+		return
+	}
+	if len(req.Values) > s.MaxValues {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("at most %d values per column", s.MaxValues))
+		return
+	}
+	writeJSON(w, http.StatusOK, columnResponse{Findings: s.checkColumn(req.Values, req.MinConfidence)})
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req tableRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Columns) == 0 {
+		writeErr(w, http.StatusBadRequest, "columns is empty")
+		return
+	}
+	total := 0
+	for _, vs := range req.Columns {
+		total += len(vs)
+	}
+	if total > s.MaxValues*10 {
+		writeErr(w, http.StatusRequestEntityTooLarge, "table too large")
+		return
+	}
+	resp := tableResponse{Columns: map[string][]Finding{}}
+	for name, vs := range req.Columns {
+		if fs := s.checkColumn(vs, req.MinConfidence); len(fs) > 0 {
+			resp.Columns[name] = fs
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req pairRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.A == "" || req.B == "" {
+		writeErr(w, http.StatusBadRequest, "need both a and b")
+		return
+	}
+	ps := s.det.ScorePair(req.A, req.B)
+	resp := pairResponse{Incompatible: ps.Flagged, Confidence: ps.Confidence}
+	for _, l := range ps.ByLanguage {
+		resp.ByLanguage = append(resp.ByLanguage, struct {
+			LanguageID int     `json:"language_id"`
+			NPMI       float64 `json:"npmi"`
+			Fires      bool    `json:"fires"`
+			Precision  float64 `json:"precision"`
+		}{l.LanguageID, l.NPMI, l.Fires, l.Precision})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,480 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/pattern"
+)
+
+// LanguageStats holds the corpus statistics of one generalization language:
+// how many columns each pattern occurs in, and how many columns each pair
+// of patterns co-occurs in. NPMI queries (Section 2.1) are answered from
+// these counts with Jelinek–Mercer smoothing (Section 3.3).
+type LanguageStats struct {
+	lang pattern.Language
+	n    uint64 // number of columns observed
+	// ids maps pattern.Hash64(pattern) → pattern ID. Interning by hash
+	// lets the hot path (Language.HashRuns) avoid building pattern strings
+	// per value occurrence.
+	ids map[uint64]uint32
+	// byString maps the rendered pattern to its ID, for string queries and
+	// serialization.
+	byString  map[string]uint32
+	patterns  []string
+	occ       []uint32
+	pairs     PairStore
+	smoothing float64
+
+	// maxPatternsPerColumn caps the number of distinct patterns of a single
+	// column that contribute pairs, bounding the O(k²) pair update for
+	// pathologically diverse columns. 0 means no cap.
+	maxPatternsPerColumn int
+}
+
+// DefaultSmoothing is the paper's default Jelinek–Mercer factor f = 0.1.
+const DefaultSmoothing = 0.1
+
+// NewLanguageStats returns empty statistics for lang with an exact pair
+// store and the given smoothing factor f ∈ [0,1].
+func NewLanguageStats(lang pattern.Language, smoothing float64) *LanguageStats {
+	return &LanguageStats{
+		lang:                 lang,
+		ids:                  make(map[uint64]uint32),
+		byString:             make(map[string]uint32),
+		pairs:                NewMapPairStore(),
+		smoothing:            smoothing,
+		maxPatternsPerColumn: 64,
+	}
+}
+
+// Language returns the generalization language these statistics belong to.
+func (ls *LanguageStats) Language() pattern.Language { return ls.lang }
+
+// Columns returns N, the number of columns observed.
+func (ls *LanguageStats) Columns() uint64 { return ls.n }
+
+// DistinctPatterns returns the number of distinct patterns observed.
+func (ls *LanguageStats) DistinctPatterns() int { return len(ls.patterns) }
+
+// SetSmoothing sets the Jelinek–Mercer factor f used by NPMI queries.
+func (ls *LanguageStats) SetSmoothing(f float64) { ls.smoothing = f }
+
+// Smoothing returns the current Jelinek–Mercer factor.
+func (ls *LanguageStats) Smoothing() float64 { return ls.smoothing }
+
+// internRuns returns the stable ID of the pattern of rs, allocating one
+// (and rendering the pattern string, once per distinct pattern) if new.
+func (ls *LanguageStats) internRuns(rs pattern.Runs) uint32 {
+	h := ls.lang.HashRuns(rs)
+	if id, ok := ls.ids[h]; ok {
+		return id
+	}
+	p := ls.lang.FromRuns(rs)
+	id := uint32(len(ls.patterns))
+	ls.ids[h] = id
+	ls.byString[p] = id
+	ls.patterns = append(ls.patterns, p)
+	ls.occ = append(ls.occ, 0)
+	return id
+}
+
+// AddColumnRuns records one corpus column given the category-run encodings
+// of its distinct values. Identical patterns within the column are counted
+// once (occurrence and co-occurrence are at column granularity).
+func (ls *LanguageStats) AddColumnRuns(values []pattern.Runs) {
+	ls.n++
+	seen := make(map[uint32]struct{}, 4)
+	var idList []uint32
+	for _, rs := range values {
+		id := ls.internRuns(rs)
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		idList = append(idList, id)
+		ls.occ[id]++
+	}
+	if ls.maxPatternsPerColumn > 0 && len(idList) > ls.maxPatternsPerColumn {
+		idList = idList[:ls.maxPatternsPerColumn]
+	}
+	for i := 0; i < len(idList); i++ {
+		for j := i + 1; j < len(idList); j++ {
+			ls.pairs.Add(idList[i], idList[j], 1)
+		}
+	}
+}
+
+// AddColumn records one corpus column given its distinct values as strings.
+func (ls *LanguageStats) AddColumn(values []string) {
+	runs := make([]pattern.Runs, len(values))
+	for i, v := range values {
+		runs[i] = pattern.Encode(v)
+	}
+	ls.AddColumnRuns(runs)
+}
+
+// PatternCount returns c(p), the number of columns containing pattern p.
+func (ls *LanguageStats) PatternCount(p string) uint64 {
+	id, ok := ls.byString[p]
+	if !ok {
+		return 0
+	}
+	return uint64(ls.occ[id])
+}
+
+// pairCountByID returns c(p1,p2) for interned pattern IDs, clamped by the
+// marginals (a sketch may over-estimate, but co-occurrence can never exceed
+// either pattern's own column count).
+func (ls *LanguageStats) pairCountByID(id1, id2 uint32) uint64 {
+	if id1 == id2 {
+		return 0
+	}
+	c := ls.pairs.Get(id1, id2)
+	if m := uint64(ls.occ[id1]); c > m {
+		c = m
+	}
+	if m := uint64(ls.occ[id2]); c > m {
+		c = m
+	}
+	return c
+}
+
+// PairCount returns c(p1,p2), the (possibly sketch-estimated) number of
+// columns containing both patterns.
+func (ls *LanguageStats) PairCount(p1, p2 string) uint64 {
+	id1, ok1 := ls.byString[p1]
+	id2, ok2 := ls.byString[p2]
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return ls.pairCountByID(id1, id2)
+}
+
+// NPMIValues generalizes two raw values under the language and returns
+// their pattern-level NPMI.
+func (ls *LanguageStats) NPMIValues(v1, v2 string) float64 {
+	return ls.NPMIRuns(pattern.Encode(v1), pattern.Encode(v2))
+}
+
+// NPMIRuns generalizes two category-run encoded values and returns their
+// pattern-level NPMI. This is the hot path used during calibration and
+// detection; it never materializes pattern strings.
+func (ls *LanguageStats) NPMIRuns(r1, r2 pattern.Runs) float64 {
+	h1 := ls.lang.HashRuns(r1)
+	h2 := ls.lang.HashRuns(r2)
+	if h1 == h2 {
+		return 1
+	}
+	if ls.n == 0 {
+		return 0
+	}
+	var c1, c2, c12 float64
+	id1, ok1 := ls.ids[h1]
+	id2, ok2 := ls.ids[h2]
+	if ok1 {
+		c1 = float64(ls.occ[id1])
+	}
+	if ok2 {
+		c2 = float64(ls.occ[id2])
+	}
+	if ok1 && ok2 {
+		c12 = float64(ls.pairCountByID(id1, id2))
+	}
+	return ls.npmiFromCounts(c1, c2, c12)
+}
+
+// NPMIRunsLOO is NPMIRuns with leave-one-out discounting for
+// distant-supervision calibration: the training pair's own source columns
+// are part of the corpus statistics, so each marginal is reduced by one
+// column and — when both values come from the same column (a T+ pair) —
+// the co-occurrence count is reduced by one as well. Without this, sparse
+// languages separate T+ from T− perfectly via the self-contribution
+// (c12 ≥ 1 for every same-column pair) and calibrate to spuriously
+// aggressive thresholds.
+func (ls *LanguageStats) NPMIRunsLOO(r1, r2 pattern.Runs, sameColumn bool) float64 {
+	h1 := ls.lang.HashRuns(r1)
+	h2 := ls.lang.HashRuns(r2)
+	if h1 == h2 {
+		return 1
+	}
+	if ls.n == 0 {
+		return 0
+	}
+	var c1, c2, c12 float64
+	id1, ok1 := ls.ids[h1]
+	id2, ok2 := ls.ids[h2]
+	if ok1 {
+		c1 = float64(ls.occ[id1]) - 1
+	}
+	if ok2 {
+		c2 = float64(ls.occ[id2]) - 1
+	}
+	if ok1 && ok2 {
+		c12 = float64(ls.pairCountByID(id1, id2))
+		if sameColumn {
+			c12--
+		}
+	}
+	if c1 < 0 {
+		c1 = 0
+	}
+	if c2 < 0 {
+		c2 = 0
+	}
+	if c12 < 0 {
+		c12 = 0
+	}
+	if c12 > c1 {
+		c12 = c1
+	}
+	if c12 > c2 {
+		c12 = c2
+	}
+	return ls.npmiFromCounts(c1, c2, c12)
+}
+
+// NPMI returns the normalized point-wise mutual information of two patterns
+// (Equation 2), smoothed per Equation 10, clamped to [−1, 1]. Identical
+// patterns are perfectly compatible (NPMI = 1, which also follows from the
+// formula when the pattern has been observed). A pair whose smoothed
+// co-occurrence is zero returns −1.
+func (ls *LanguageStats) NPMI(p1, p2 string) float64 {
+	if p1 == p2 {
+		return 1
+	}
+	if ls.n == 0 {
+		return 0
+	}
+	var c1, c2, c12 float64
+	id1, ok1 := ls.byString[p1]
+	id2, ok2 := ls.byString[p2]
+	if ok1 {
+		c1 = float64(ls.occ[id1])
+	}
+	if ok2 {
+		c2 = float64(ls.occ[id2])
+	}
+	if ok1 && ok2 {
+		c12 = float64(ls.pairCountByID(id1, id2))
+	}
+	return ls.npmiFromCounts(c1, c2, c12)
+}
+
+// npmiFromCounts computes smoothed NPMI from raw counts.
+func (ls *LanguageStats) npmiFromCounts(c1, c2, c12 float64) float64 {
+	n := float64(ls.n)
+	// Jelinek–Mercer smoothing: blend the observed co-occurrence with its
+	// expectation under independence, E = c1·c2/N.
+	f := ls.smoothing
+	c12s := (1-f)*c12 + f*c1*c2/n
+	if c12s <= 0 {
+		return -1
+	}
+	p12 := c12s / n
+	pp1 := c1 / n
+	pp2 := c2 / n
+	pmi := math.Log(p12 / (pp1 * pp2))
+	denom := -math.Log(p12)
+	if denom <= 0 {
+		// p12 ≥ 1 can only arise from estimation noise; the pair co-occurs
+		// in essentially every column.
+		return 1
+	}
+	npmi := pmi / denom
+	if npmi > 1 {
+		return 1
+	}
+	if npmi < -1 {
+		return -1
+	}
+	return npmi
+}
+
+// Bytes returns the approximate memory footprint of the statistics: interned
+// pattern strings, occurrence counters and the pair store. This is the
+// size(L) used by the memory-budgeted language selection (Definition 5).
+func (ls *LanguageStats) Bytes() int {
+	b := 0
+	for _, p := range ls.patterns {
+		b += len(p) + 16 // string bytes + header
+	}
+	b += len(ls.patterns) * 48 // hash + string map entry overhead
+	b += len(ls.occ) * 4
+	b += ls.pairs.Bytes()
+	return b
+}
+
+// PairStoreEntries returns the number of co-occurrence entries (−1 when
+// sketch-backed).
+func (ls *LanguageStats) PairStoreEntries() int { return ls.pairs.Entries() }
+
+// CompressToSketch replaces the exact pair store with a count-min sketch
+// using approximately ratio of the exact store's memory (Figure 8a). It is
+// an error to compress an already-compressed store.
+func (ls *LanguageStats) CompressToSketch(ratio float64, depth int) error {
+	exact, ok := ls.pairs.(*MapPairStore)
+	if !ok {
+		return errors.New("stats: pair store is not exact")
+	}
+	s, err := CompressPairStore(exact, ratio, depth)
+	if err != nil {
+		return err
+	}
+	ls.pairs = s
+	return nil
+}
+
+// SketchCopy returns a copy of the statistics whose pair store is a
+// count-min sketch at approximately ratio of the exact store's memory; the
+// receiver keeps its exact store. Pattern/occurrence tables are shared
+// (they are read-only after building).
+func (ls *LanguageStats) SketchCopy(ratio float64, depth int) (*LanguageStats, error) {
+	exact, ok := ls.pairs.(*MapPairStore)
+	if !ok {
+		return nil, errors.New("stats: pair store is not exact")
+	}
+	s, err := CompressPairStore(exact, ratio, depth)
+	if err != nil {
+		return nil, err
+	}
+	cp := *ls
+	cp.pairs = s
+	return &cp, nil
+}
+
+// PairNPMIDistribution returns the NPMI values of all stored co-occurring
+// pattern pairs, sorted ascending. Used to reproduce the CDF analysis of
+// Figure 17(b).
+func (ls *LanguageStats) PairNPMIDistribution() []float64 {
+	exact, ok := ls.pairs.(*MapPairStore)
+	if !ok {
+		return nil
+	}
+	out := make([]float64, 0, len(exact.m))
+	for k := range exact.m {
+		a := uint32(k >> 32)
+		b := uint32(k & 0xffffffff)
+		out = append(out, ls.NPMI(ls.patterns[a], ls.patterns[b]))
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// MarshalBinary serializes the statistics (language, N, patterns with
+// counts, smoothing, and the exact pair store). Sketch-backed stats must be
+// serialized before compression.
+func (ls *LanguageStats) MarshalBinary() ([]byte, error) {
+	exact, ok := ls.pairs.(*MapPairStore)
+	if !ok {
+		return nil, errors.New("stats: only exact stores serialize; compress after loading")
+	}
+	var buf bytes.Buffer
+	var tmp [8]byte
+	wu64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf.Write(tmp[:])
+	}
+	wu64(uint64(ls.lang.ID))
+	wu64(ls.n)
+	wu64(math.Float64bits(ls.smoothing))
+	wu64(uint64(ls.maxPatternsPerColumn))
+	wu64(uint64(len(ls.patterns)))
+	for i, p := range ls.patterns {
+		wu64(uint64(len(p)))
+		buf.WriteString(p)
+		binary.LittleEndian.PutUint32(tmp[:4], ls.occ[i])
+		buf.Write(tmp[:4])
+	}
+	pairData, err := exact.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	wu64(uint64(len(pairData)))
+	buf.Write(pairData)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary deserializes statistics produced by MarshalBinary.
+func (ls *LanguageStats) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	var tmp [8]byte
+	ru64 := func() (uint64, error) {
+		if _, err := r.Read(tmp[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(tmp[:]), nil
+	}
+	langID, err := ru64()
+	if err != nil {
+		return errors.New("stats: truncated header")
+	}
+	ls.lang = pattern.ByID(int(langID))
+	if ls.lang.ID < 0 {
+		return errors.New("stats: unknown language id")
+	}
+	if ls.n, err = ru64(); err != nil {
+		return err
+	}
+	sm, err := ru64()
+	if err != nil {
+		return err
+	}
+	ls.smoothing = math.Float64frombits(sm)
+	mp, err := ru64()
+	if err != nil {
+		return err
+	}
+	ls.maxPatternsPerColumn = int(mp)
+	np, err := ru64()
+	if err != nil {
+		return err
+	}
+	if np > uint64(len(data)) {
+		return errors.New("stats: corrupt pattern count")
+	}
+	ls.patterns = make([]string, np)
+	ls.occ = make([]uint32, np)
+	ls.ids = make(map[uint64]uint32, np)
+	ls.byString = make(map[string]uint32, np)
+	for i := uint64(0); i < np; i++ {
+		l, err := ru64()
+		if err != nil {
+			return err
+		}
+		if l > uint64(r.Len()) {
+			return errors.New("stats: corrupt pattern length")
+		}
+		pb := make([]byte, l)
+		if _, err := r.Read(pb); err != nil {
+			return err
+		}
+		if _, err := r.Read(tmp[:4]); err != nil {
+			return err
+		}
+		ls.patterns[i] = string(pb)
+		ls.occ[i] = binary.LittleEndian.Uint32(tmp[:4])
+		ls.ids[pattern.Hash64(ls.patterns[i])] = uint32(i)
+		ls.byString[ls.patterns[i]] = uint32(i)
+	}
+	pl, err := ru64()
+	if err != nil {
+		return err
+	}
+	if pl != uint64(r.Len()) {
+		return errors.New("stats: corrupt pair store length")
+	}
+	pairData := make([]byte, pl)
+	if _, err := r.Read(pairData); err != nil {
+		return err
+	}
+	store := NewMapPairStore()
+	if err := store.UnmarshalBinary(pairData); err != nil {
+		return err
+	}
+	ls.pairs = store
+	return nil
+}

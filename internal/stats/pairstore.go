@@ -1,0 +1,177 @@
+// Package stats maintains per-language corpus statistics for Auto-Detect:
+// pattern occurrence counts c(p), pattern co-occurrence counts c(p1,p2),
+// and the (normalized) point-wise mutual information computation of
+// Section 2.1 with the Jelinek–Mercer smoothing of Section 3.3. The
+// co-occurrence dictionary can be backed either by an exact hash map or by
+// a count-min sketch (Section 3.4) to trade memory for bounded
+// over-estimation.
+package stats
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+
+	"repro/internal/sketch"
+)
+
+// PairKey packs an unordered pattern-ID pair into a single uint64 key with
+// the smaller ID in the high bits, so (a,b) and (b,a) share a key.
+func PairKey(a, b uint32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// PairStore is a dictionary from unordered pattern-ID pairs to
+// co-occurrence counts.
+type PairStore interface {
+	// Add increments the count of the pair by n.
+	Add(a, b uint32, n uint32)
+	// Get returns the (possibly estimated) count of the pair.
+	Get(a, b uint32) uint64
+	// Bytes returns the approximate in-memory footprint of the store.
+	Bytes() int
+	// Entries returns the number of stored entries, or -1 if unknown
+	// (sketch-backed stores do not track distinct keys).
+	Entries() int
+}
+
+// MapPairStore is an exact PairStore backed by a hash map.
+type MapPairStore struct {
+	m map[uint64]uint32
+}
+
+// NewMapPairStore returns an empty exact pair store.
+func NewMapPairStore() *MapPairStore {
+	return &MapPairStore{m: make(map[uint64]uint32)}
+}
+
+// Add implements PairStore.
+func (s *MapPairStore) Add(a, b uint32, n uint32) {
+	s.m[PairKey(a, b)] += n
+}
+
+// Get implements PairStore.
+func (s *MapPairStore) Get(a, b uint32) uint64 {
+	return uint64(s.m[PairKey(a, b)])
+}
+
+// Bytes implements PairStore. Go map entries for (uint64 → uint32) cost
+// roughly 20 bytes including bucket overhead.
+func (s *MapPairStore) Bytes() int { return len(s.m) * 20 }
+
+// Entries implements PairStore.
+func (s *MapPairStore) Entries() int { return len(s.m) }
+
+// Keys returns all stored pair keys with their counts; used when
+// compressing an exact store into a sketch.
+func (s *MapPairStore) Keys() map[uint64]uint32 { return s.m }
+
+// MarshalBinary serializes the store with keys in sorted order for
+// determinism.
+func (s *MapPairStore) MarshalBinary() ([]byte, error) {
+	keys := make([]uint64, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	buf := make([]byte, 8, 8+len(keys)*12)
+	binary.LittleEndian.PutUint64(buf, uint64(len(keys)))
+	var tmp [12]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(tmp[0:], k)
+		binary.LittleEndian.PutUint32(tmp[8:], s.m[k])
+		buf = append(buf, tmp[:]...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary deserializes a store produced by MarshalBinary.
+func (s *MapPairStore) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return errors.New("stats: truncated pair store")
+	}
+	n := binary.LittleEndian.Uint64(data)
+	if uint64(len(data)) != 8+n*12 {
+		return errors.New("stats: wrong pair store payload size")
+	}
+	s.m = make(map[uint64]uint32, n)
+	off := 8
+	for i := uint64(0); i < n; i++ {
+		k := binary.LittleEndian.Uint64(data[off:])
+		v := binary.LittleEndian.Uint32(data[off+8:])
+		s.m[k] = v
+		off += 12
+	}
+	return nil
+}
+
+// SketchPairStore is a PairStore backed by a count-min sketch. Counts are
+// never under-estimated, and over-estimation is bounded by the sketch
+// dimensions; on the power-law distributed co-occurrence counts observed in
+// real table corpora the practical error is small (Section 3.4).
+type SketchPairStore struct {
+	cm *sketch.CountMin
+}
+
+// NewSketchPairStore returns a sketch-backed pair store with the given
+// dimensions. Updates are plain (non-conservative): reads go through the
+// count-mean-min correction, whose collision-noise model assumes additive
+// rows — conservative update would break it and systematically
+// under-count, turning compatible pairs into false positives.
+func NewSketchPairStore(width, depth int) (*SketchPairStore, error) {
+	cm, err := sketch.New(width, depth, false)
+	if err != nil {
+		return nil, err
+	}
+	return &SketchPairStore{cm: cm}, nil
+}
+
+// CompressPairStore builds a sketch-backed store holding the contents of an
+// exact store, dimensioned to use approximately ratio (0 < ratio ≤ 1) of
+// the exact store's memory, with the given depth. This mirrors the paper's
+// experiment of compressing co-occurrence data to 1%/10% of its original
+// size (Figure 8a).
+func CompressPairStore(exact *MapPairStore, ratio float64, depth int) (*SketchPairStore, error) {
+	if ratio <= 0 || ratio > 1 {
+		return nil, errors.New("stats: ratio must be in (0,1]")
+	}
+	if depth < 1 {
+		depth = 4
+	}
+	width := int(float64(exact.Bytes()) * ratio / float64(depth*4))
+	if width < 16 {
+		width = 16
+	}
+	s, err := NewSketchPairStore(width, depth)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range exact.Keys() {
+		s.cm.Add(k, v)
+	}
+	return s, nil
+}
+
+// Add implements PairStore.
+func (s *SketchPairStore) Add(a, b uint32, n uint32) { s.cm.Add(PairKey(a, b), n) }
+
+// Get implements PairStore.
+func (s *SketchPairStore) Get(a, b uint32) uint64 { return s.cm.EstimateCorrected(PairKey(a, b)) }
+
+// Bytes implements PairStore.
+func (s *SketchPairStore) Bytes() int { return s.cm.Bytes() }
+
+// Entries implements PairStore.
+func (s *SketchPairStore) Entries() int { return -1 }
+
+// MarshalBinary serializes the underlying sketch.
+func (s *SketchPairStore) MarshalBinary() ([]byte, error) { return s.cm.MarshalBinary() }
+
+// UnmarshalBinary deserializes the underlying sketch.
+func (s *SketchPairStore) UnmarshalBinary(data []byte) error {
+	s.cm = new(sketch.CountMin)
+	return s.cm.UnmarshalBinary(data)
+}

@@ -1,0 +1,243 @@
+// Package table models relational tables and implements the column
+// extraction pipeline Auto-Detect trains on: the paper extracts 350M
+// columns from web tables "with some simple pruning" (Section 2.1). This
+// package supplies the table structure, header detection, and the pruning
+// heuristics that turn raw tables into training-quality columns.
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/pattern"
+)
+
+// Table is a rectangular grid of cells with an optional header row.
+type Table struct {
+	// Name identifies the table (file name, page title, ...).
+	Name string
+	// Header holds the column names; empty if the table has none.
+	Header []string
+	// Rows holds the data rows. Rows may be ragged; missing cells are "".
+	Rows [][]string
+}
+
+// NumColumns returns the width of the widest row (or the header).
+func (t *Table) NumColumns() int {
+	w := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > w {
+			w = len(r)
+		}
+	}
+	return w
+}
+
+// Column returns column i as a value slice, padding ragged rows with "".
+func (t *Table) Column(i int) []string {
+	out := make([]string, len(t.Rows))
+	for ri, row := range t.Rows {
+		if i < len(row) {
+			out[ri] = row[i]
+		}
+	}
+	return out
+}
+
+// ColumnName returns the header name of column i, or "colN".
+func (t *Table) ColumnName(i int) string {
+	if i < len(t.Header) && strings.TrimSpace(t.Header[i]) != "" {
+		return t.Header[i]
+	}
+	return fmt.Sprintf("col%d", i)
+}
+
+// ReadCSV parses a CSV stream into a Table, auto-detecting whether the
+// first record is a header (see DetectHeader).
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading %s: %w", name, err)
+	}
+	t := &Table{Name: name, Rows: recs}
+	if DetectHeader(recs) {
+		t.Header = recs[0]
+		t.Rows = recs[1:]
+	}
+	return t, nil
+}
+
+// DetectHeader reports whether the first record of a table looks like a
+// header: its cells are non-numeric and pattern-wise unlike the body
+// cells below them. This mirrors the header heuristics web-table extraction
+// pipelines use.
+func DetectHeader(recs [][]string) bool {
+	if len(recs) < 3 {
+		return false
+	}
+	first := recs[0]
+	if len(first) == 0 {
+		return false
+	}
+	g := pattern.Crude()
+	votes, total := 0, 0
+	for ci, cell := range first {
+		cell = strings.TrimSpace(cell)
+		if cell == "" {
+			continue
+		}
+		total++
+		// Numeric header cells are a strong anti-signal.
+		if isNumericish(cell) {
+			votes--
+			continue
+		}
+		// A header cell whose pattern differs from the body cells below is
+		// a pro signal.
+		headPat := g.Generalize(cell)
+		diff := 0
+		seen := 0
+		for ri := 1; ri < len(recs) && ri <= 6; ri++ {
+			if ci >= len(recs[ri]) {
+				continue
+			}
+			body := strings.TrimSpace(recs[ri][ci])
+			if body == "" {
+				continue
+			}
+			seen++
+			if g.Generalize(body) != headPat {
+				diff++
+			}
+		}
+		if seen > 0 && diff*2 > seen {
+			votes++
+		}
+	}
+	return total > 0 && votes*2 > total
+}
+
+func isNumericish(s string) bool {
+	digits, others := 0, 0
+	for _, r := range s {
+		switch pattern.Categorize(r) {
+		case pattern.CatDigit:
+			digits++
+		case pattern.CatSymbol:
+			// separators don't count either way
+		default:
+			others++
+		}
+	}
+	return digits > 0 && others == 0
+}
+
+// PruneConfig tunes ExtractColumns. The defaults reproduce the "simple
+// pruning" of Section 2.1: keep columns that look like homogeneous value
+// lists and are usable for co-occurrence statistics.
+type PruneConfig struct {
+	// MinRows drops very short columns (default 3).
+	MinRows int
+	// MinDistinct drops near-constant columns (default 2).
+	MinDistinct int
+	// MaxAvgLength drops long free-text columns — prose paragraphs are not
+	// value lists (default 60).
+	MaxAvgLength int
+	// MaxEmptyFraction drops mostly-empty columns (default 0.3).
+	MaxEmptyFraction float64
+}
+
+// DefaultPruneConfig returns the default pruning thresholds.
+func DefaultPruneConfig() PruneConfig {
+	return PruneConfig{MinRows: 3, MinDistinct: 2, MaxAvgLength: 60, MaxEmptyFraction: 0.3}
+}
+
+// PruneReason explains why a column was dropped.
+type PruneReason string
+
+// Pruning outcomes.
+const (
+	// KeepColumn marks a usable column.
+	KeepColumn PruneReason = ""
+	// PruneTooShort marks columns with too few non-empty cells.
+	PruneTooShort PruneReason = "too-short"
+	// PruneConstant marks single-valued columns.
+	PruneConstant PruneReason = "constant"
+	// PruneFreeText marks prose-like columns.
+	PruneFreeText PruneReason = "free-text"
+	// PruneEmpty marks mostly-empty columns.
+	PruneEmpty PruneReason = "mostly-empty"
+)
+
+// Classify applies the pruning rules to a raw column (with empty cells
+// still present) and returns the kept values plus the outcome.
+func Classify(values []string, cfg PruneConfig) ([]string, PruneReason) {
+	if cfg.MinRows == 0 {
+		cfg = DefaultPruneConfig()
+	}
+	kept := make([]string, 0, len(values))
+	empty := 0
+	totalLen := 0
+	distinct := map[string]struct{}{}
+	for _, v := range values {
+		v = strings.TrimRight(v, "\r\n")
+		if strings.TrimSpace(v) == "" {
+			empty++
+			continue
+		}
+		kept = append(kept, v)
+		totalLen += len(v)
+		distinct[v] = struct{}{}
+	}
+	if len(values) > 0 && float64(empty)/float64(len(values)) > cfg.MaxEmptyFraction {
+		return nil, PruneEmpty
+	}
+	if len(kept) < cfg.MinRows {
+		return nil, PruneTooShort
+	}
+	if len(distinct) < cfg.MinDistinct {
+		return nil, PruneConstant
+	}
+	if totalLen/len(kept) > cfg.MaxAvgLength {
+		return nil, PruneFreeText
+	}
+	return kept, KeepColumn
+}
+
+// ExtractStats summarizes an extraction run.
+type ExtractStats struct {
+	// Tables is the number of tables processed.
+	Tables int
+	// Kept is the number of columns extracted.
+	Kept int
+	// Pruned counts dropped columns by reason.
+	Pruned map[PruneReason]int
+}
+
+// ExtractColumns turns tables into a training corpus, applying the pruning
+// rules to every column.
+func ExtractColumns(tables []*Table, cfg PruneConfig) (*corpus.Corpus, ExtractStats) {
+	stats := ExtractStats{Pruned: map[PruneReason]int{}}
+	c := &corpus.Corpus{Name: "extracted"}
+	for _, t := range tables {
+		stats.Tables++
+		for ci := 0; ci < t.NumColumns(); ci++ {
+			values, reason := Classify(t.Column(ci), cfg)
+			if reason != KeepColumn {
+				stats.Pruned[reason]++
+				continue
+			}
+			stats.Kept++
+			c.Columns = append(c.Columns, &corpus.Column{
+				Name:   t.Name + "/" + t.ColumnName(ci),
+				Values: values,
+			})
+		}
+	}
+	return c, stats
+}

@@ -1,0 +1,134 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSVWithHeader(t *testing.T) {
+	csv := "Name,Year,Score\nAlice,2001,3-2\nBob,2004,1-0\nCarol,1999,4-4\n"
+	tab, err := ReadCSV("demo", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Header) != 3 || tab.Header[1] != "Year" {
+		t.Errorf("header = %v", tab.Header)
+	}
+	if len(tab.Rows) != 3 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+	if got := tab.Column(1); len(got) != 3 || got[0] != "2001" {
+		t.Errorf("Column(1) = %v", got)
+	}
+	if tab.ColumnName(1) != "Year" || tab.ColumnName(9) != "col9" {
+		t.Error("ColumnName broken")
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	csv := "2001,3-2\n2004,1-0\n1999,4-4\n2011,2-2\n"
+	tab, err := ReadCSV("nohdr", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Header) != 0 {
+		t.Errorf("detected spurious header %v", tab.Header)
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestDetectHeader(t *testing.T) {
+	cases := []struct {
+		recs [][]string
+		want bool
+	}{
+		{[][]string{{"Name", "Year"}, {"Alice", "2001"}, {"Bob", "2004"}, {"Ann", "2011"}}, true},
+		{[][]string{{"2001", "3"}, {"2004", "1"}, {"1999", "4"}}, false},
+		{[][]string{{"Alice", "x"}}, false}, // too short to tell
+		{nil, false},
+		// All-text body: header cells look like body cells → no header.
+		{[][]string{{"alpha", "bravo"}, {"cargo", "delta"}, {"ember", "falcon"}, {"garden", "harbor"}}, false},
+	}
+	for i, c := range cases {
+		if got := DetectHeader(c.recs); got != c.want {
+			t.Errorf("case %d: DetectHeader = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cfg := DefaultPruneConfig()
+	longText := strings.Repeat("long prose sentence with many words ", 3)
+	cases := []struct {
+		name   string
+		values []string
+		want   PruneReason
+	}{
+		{"good", []string{"1", "2", "3", "4"}, KeepColumn},
+		{"short", []string{"1", "2"}, PruneTooShort},
+		{"constant", []string{"x", "x", "x", "x"}, PruneConstant},
+		{"freetext", []string{longText, longText + "a", longText + "b"}, PruneFreeText},
+		{"empty", []string{"1", "", "", "", "2"}, PruneEmpty},
+	}
+	for _, c := range cases {
+		if _, got := Classify(c.values, cfg); got != c.want {
+			t.Errorf("%s: reason = %q, want %q", c.name, got, c.want)
+		}
+	}
+	// Kept values exclude blanks and trailing newlines.
+	kept, reason := Classify([]string{"a\r\n", "b", "c", "", "d"}, PruneConfig{MinRows: 3, MinDistinct: 2, MaxAvgLength: 60, MaxEmptyFraction: 0.5})
+	if reason != KeepColumn || len(kept) != 4 || kept[0] != "a" {
+		t.Errorf("kept = %v reason = %q", kept, reason)
+	}
+}
+
+func TestExtractColumns(t *testing.T) {
+	tables := []*Table{
+		{
+			Name:   "t1",
+			Header: []string{"Year", "Note"},
+			Rows: [][]string{
+				{"2001", "aaaa"},
+				{"2004", "aaaa"},
+				{"1999", "aaaa"},
+				{"2011", "aaaa"},
+			},
+		},
+		{
+			Name: "t2",
+			Rows: [][]string{{"1", ""}, {"2", ""}, {"3", ""}, {"4", ""}},
+		},
+	}
+	c, stats := ExtractColumns(tables, DefaultPruneConfig())
+	if stats.Tables != 2 {
+		t.Errorf("tables = %d", stats.Tables)
+	}
+	// t1: Year kept, Note constant-pruned. t2: col0 kept, col1 empty-pruned.
+	if stats.Kept != 2 || c.NumColumns() != 2 {
+		t.Errorf("kept = %d, corpus = %d", stats.Kept, c.NumColumns())
+	}
+	if stats.Pruned[PruneConstant] != 1 || stats.Pruned[PruneEmpty] != 1 {
+		t.Errorf("pruned = %v", stats.Pruned)
+	}
+	if c.Columns[0].Name != "t1/Year" {
+		t.Errorf("column name = %q", c.Columns[0].Name)
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tab := &Table{Rows: [][]string{{"a", "b", "c"}, {"d"}, {"e", "f"}}}
+	if tab.NumColumns() != 3 {
+		t.Errorf("NumColumns = %d", tab.NumColumns())
+	}
+	if got := tab.Column(2); got[0] != "c" || got[1] != "" || got[2] != "" {
+		t.Errorf("Column(2) = %v", got)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("bad", strings.NewReader("a,\"unterminated\n")); err == nil {
+		t.Error("malformed CSV should error")
+	}
+}

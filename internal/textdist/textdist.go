@@ -1,0 +1,98 @@
+// Package textdist provides the pattern-level distances used by the
+// outlier-detection baselines of the Auto-Detect evaluation (SVDD, DBOD,
+// LOF): values are generalized into class-token sequences and compared by
+// weighted edit distance, where substituting within a character class is
+// cheaper than across classes (an alignment-style distance in the spirit of
+// the TEGRA pattern distance the paper cites).
+package textdist
+
+import "repro/internal/pattern"
+
+// Symbol is one aligned unit: a character class plus its run length.
+type Symbol struct {
+	// Cat is the character category of the run.
+	Cat pattern.Category
+	// N is the run length.
+	N int
+}
+
+// Tokenize converts a value to its class-run sequence.
+func Tokenize(v string) []Symbol {
+	runs := pattern.Encode(v)
+	out := make([]Symbol, len(runs))
+	for i, r := range runs {
+		out[i] = Symbol{Cat: r.Cat, N: r.N}
+	}
+	return out
+}
+
+// substCost is the cost of aligning two runs: free if identical, small if
+// only the run length differs, moderate if the classes are both letters,
+// and full otherwise.
+func substCost(a, b Symbol) float64 {
+	if a == b {
+		return 0
+	}
+	if a.Cat == b.Cat {
+		return 0.25 // same class, different length
+	}
+	letters := func(c pattern.Category) bool {
+		return c == pattern.CatUpper || c == pattern.CatLower
+	}
+	if letters(a.Cat) && letters(b.Cat) {
+		return 0.5
+	}
+	return 1
+}
+
+// Distance returns the weighted edit distance between the class-run
+// sequences of two values. Insertions and deletions cost 1 per run.
+func Distance(a, b string) float64 {
+	return SymbolDistance(Tokenize(a), Tokenize(b))
+}
+
+// SymbolDistance is Distance on pre-tokenized sequences.
+func SymbolDistance(sa, sb []Symbol) float64 {
+	if len(sa) == 0 {
+		return float64(len(sb))
+	}
+	if len(sb) == 0 {
+		return float64(len(sa))
+	}
+	prev := make([]float64, len(sb)+1)
+	cur := make([]float64, len(sb)+1)
+	for j := range prev {
+		prev[j] = float64(j)
+	}
+	for i := 1; i <= len(sa); i++ {
+		cur[0] = float64(i)
+		for j := 1; j <= len(sb); j++ {
+			del := prev[j] + 1
+			ins := cur[j-1] + 1
+			sub := prev[j-1] + substCost(sa[i-1], sb[j-1])
+			m := del
+			if ins < m {
+				m = ins
+			}
+			if sub < m {
+				m = sub
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(sb)]
+}
+
+// NormalizedDistance scales Distance into [0,1] by the longer sequence.
+func NormalizedDistance(a, b string) float64 {
+	sa, sb := Tokenize(a), Tokenize(b)
+	n := len(sa)
+	if len(sb) > n {
+		n = len(sb)
+	}
+	if n == 0 {
+		return 0
+	}
+	return SymbolDistance(sa, sb) / float64(n)
+}

@@ -1,0 +1,83 @@
+package textdist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceIdentity(t *testing.T) {
+	for _, v := range []string{"", "abc", "2011-01-01", "$1,234.56"} {
+		if d := Distance(v, v); d != 0 {
+			t.Errorf("Distance(%q,%q) = %v", v, v, d)
+		}
+	}
+}
+
+func TestSameFormatCheap(t *testing.T) {
+	// Same-format values are distance 0 (identical run structure).
+	if d := Distance("2011-01-01", "1999-12-31"); d != 0 {
+		t.Errorf("same-format dates distance = %v", d)
+	}
+	// Run-length-only difference is cheap.
+	short := Distance("100", "1000")
+	cross := Distance("100", "abc")
+	if short >= cross {
+		t.Errorf("length diff %v should be cheaper than class diff %v", short, cross)
+	}
+}
+
+func TestDifferentFormatsExpensive(t *testing.T) {
+	d1 := Distance("2011-01-01", "2011/01/01") // separator class identical (both symbols)
+	d2 := Distance("2011-01-01", "January 1, 2011")
+	if d2 <= d1 {
+		t.Errorf("textual date should be farther: %v vs %v", d1, d2)
+	}
+}
+
+func TestEmptyEdgeCases(t *testing.T) {
+	if d := Distance("", "abc"); d != 1 {
+		t.Errorf("Distance(\"\",abc) = %v, want 1 (one run)", d)
+	}
+	if d := Distance("ab1", ""); d != 2 {
+		t.Errorf("Distance(ab1,\"\") = %v, want 2 (two runs)", d)
+	}
+}
+
+func TestNormalizedRange(t *testing.T) {
+	f := func(a, b string) bool {
+		d := NormalizedDistance(a, b)
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	if NormalizedDistance("", "") != 0 {
+		t.Error("empty-empty should be 0")
+	}
+}
+
+// Property: symmetry.
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(a, b string) bool { return Distance(a, b) == Distance(b, a) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality (holds for edit distances with these
+// costs since substitution costs satisfy it).
+func TestTriangleInequality(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDistance(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Distance("2011-01-01 13:45", "January 1, 2011 1:45pm")
+	}
+}
