@@ -188,11 +188,14 @@ func byteSize(b int) string {
 	}
 }
 
-// Save serializes the model. Sketch-compressed models cannot be saved;
+// Save serializes the model in the integrity-checked v2 format (length
+// header + CRC64 trailer). Sketch-compressed models cannot be saved;
 // train with SketchRatio 0, save, and compress after loading if needed.
 func (m *Model) Save(w io.Writer) error { return m.det.Save(w) }
 
-// Load deserializes a model produced by Save.
+// Load deserializes a model produced by Save, verifying its checksum.
+// Corrupted or truncated inputs fail with an error wrapping
+// core.ErrCorruptModel; legacy v1 files load without integrity checks.
 func Load(r io.Reader) (*Model, error) {
 	det, err := core.Load(r)
 	if err != nil {

@@ -1,5 +1,8 @@
 // Command autodetectd serves a trained Auto-Detect model over HTTP — the
-// "spell-checker for data" deployment mode.
+// "spell-checker for data" deployment mode — with a production-hardened
+// lifecycle: graceful shutdown on SIGINT/SIGTERM, hot model reload on
+// SIGHUP or POST /v1/admin/reload, liveness/readiness probes, and
+// configurable load-shedding limits.
 //
 //	autodetectd -model model.bin -addr :8080
 //	autodetectd -train -columns 10000 -addr :8080    # train in-process first
@@ -7,17 +10,24 @@
 // Endpoints:
 //
 //	GET  /v1/health
+//	GET  /v1/livez
+//	GET  /v1/readyz
 //	POST /v1/check-column  {"values": ["2011-01-01", "2011/01/01", ...]}
 //	POST /v1/check-table   {"columns": {"date": [...], "amount": [...]}}
 //	POST /v1/check-pair    {"a": "72 kg", "b": "154 lbs"}
+//	POST /v1/admin/reload
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -27,6 +37,16 @@ import (
 	"repro/internal/service"
 )
 
+// loadModelFile reads and integrity-checks a serialized model.
+func loadModelFile(path string) (*core.Detector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.Load(f)
+}
+
 func main() {
 	modelPath := flag.String("model", "", "trained model path (see cmd/autodetect train)")
 	train := flag.Bool("train", false, "train an in-process model on a synthetic corpus instead")
@@ -34,19 +54,22 @@ func main() {
 	pairs := flag.Int("pairs", 10000, "distant-supervision pairs per class when -train is set")
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 1, "random seed when -train is set")
+	maxInflight := flag.Int("max-inflight", 256, "concurrent requests before shedding with 429 (0 disables)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
+	maxBodyBytes := flag.Int64("max-body-bytes", 8<<20, "request body cap in bytes (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "connection-draining budget on shutdown")
 	flag.Parse()
 
 	var det *core.Detector
 	var sem *semantic.Model
 	switch {
 	case *modelPath != "":
-		f, err := os.Open(*modelPath)
+		var err error
+		det, err = loadModelFile(*modelPath)
 		if err != nil {
-			log.Fatal(err)
-		}
-		det, err = core.Load(f)
-		f.Close()
-		if err != nil {
+			if errors.Is(err, core.ErrCorruptModel) {
+				log.Fatalf("refusing to serve %s: %v", *modelPath, err)
+			}
 			log.Fatal(err)
 		}
 		log.Printf("loaded model from %s (%d languages, %d bytes)",
@@ -75,11 +98,72 @@ func main() {
 		os.Exit(2)
 	}
 
+	svc := service.New(det, sem)
+	svc.MaxInFlight = *maxInflight
+	svc.RequestTimeout = *requestTimeout
+	svc.MaxBodyBytes = *maxBodyBytes
+	svc.Logf = log.Printf
+	if *modelPath != "" {
+		// Hot reload re-reads the model file; the semantic model (only
+		// produced by -train) is not file-backed and stays as-is.
+		svc.Reload = func() (*core.Detector, *semantic.Model, error) {
+			d, err := loadModelFile(*modelPath)
+			return d, sem, err
+		}
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.New(det, sem).Handler(),
+		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
 	}
-	log.Printf("listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	// SIGHUP → hot reload through the same hook as /v1/admin/reload; the
+	// atomic swap means in-flight requests keep their model snapshot.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if svc.Reload == nil {
+				log.Printf("SIGHUP ignored: no -model file to reload from")
+				continue
+			}
+			d, sm, err := svc.Reload()
+			if err != nil {
+				log.Printf("SIGHUP reload failed, keeping current model: %v", err)
+				continue
+			}
+			if err := svc.Swap(d, sm); err != nil {
+				log.Printf("SIGHUP swap failed: %v", err)
+				continue
+			}
+			log.Printf("SIGHUP reload succeeded: %d languages, %d bytes",
+				len(d.Languages()), d.Bytes())
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (max-inflight=%d request-timeout=%s max-body-bytes=%d)",
+		*addr, *maxInflight, *requestTimeout, *maxBodyBytes)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		log.Printf("shutdown signal received, draining connections (up to %s)", *drainTimeout)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("drain incomplete, forcing close: %v", err)
+			_ = srv.Close()
+		}
+		log.Printf("shutdown complete")
+	}
 }

@@ -2,30 +2,86 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc64"
 	"io"
 	"math"
 
 	"repro/internal/stats"
 )
 
-// modelMagic identifies serialized Auto-Detect models.
-var modelMagic = []byte("AUTODETECT-GO/1\n")
+// Model file magics. Version 2 (current) wraps the payload in a length
+// header and a CRC64 trailer so that truncated or bit-flipped files are
+// rejected deterministically instead of deserializing into a silently
+// broken detector. Version 1 files (no integrity envelope) remain
+// readable.
+var (
+	magicV1 = []byte("AUTODETECT-GO/1\n")
+	magicV2 = []byte("AUTODETECT-GO/2\n")
+)
 
-// Save serializes the detector: aggregation strategy and, per language,
-// the threshold, the empirical precision curve, and the corpus statistics.
+// ErrCorruptModel is wrapped by every Load failure: wrong magic, truncated
+// stream, implausible counts, CRC mismatch, or undecodable statistics.
+// Callers can test with errors.Is(err, ErrCorruptModel).
+var ErrCorruptModel = errors.New("corrupt or invalid model")
+
+// Decode-time sanity caps. A corrupted length field must never drive a
+// multi-gigabyte allocation or an effectively unbounded read.
+const (
+	maxModelLanguages = 1024    // languages per model
+	maxCurvePoints    = 1 << 24 // precision-curve entries per language
+	maxStatsBlob      = 1 << 28 // serialized statistics bytes per language
+	maxPayloadBytes   = 1 << 32 // total v2 payload bytes
+)
+
+// crcTable is the CRC64 polynomial used by the v2 integrity trailer.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("core: %w: %s", ErrCorruptModel, fmt.Sprintf(format, args...))
+}
+
+// Save serializes the detector in the v2 format:
+//
+//	magic "AUTODETECT-GO/2\n" | u64 payload length | payload | u64 CRC64(payload)
+//
+// The payload holds the aggregation strategy and, per language, the
+// threshold, the empirical precision curve, and the corpus statistics.
 // Sketch-compressed detectors cannot be saved; save before compressing.
 func (d *Detector) Save(w io.Writer) error {
+	var payload bytes.Buffer
+	if err := d.encodePayload(&payload); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(modelMagic); err != nil {
+	if _, err := bw.Write(magicV2); err != nil {
 		return err
 	}
 	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(payload.Len()))
+	if _, err := bw.Write(tmp[:]); err != nil {
+		return err
+	}
+	sum := crc64.Checksum(payload.Bytes(), crcTable)
+	if _, err := bw.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(tmp[:], sum)
+	if _, err := bw.Write(tmp[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// encodePayload writes the version-independent model body.
+func (d *Detector) encodePayload(w io.Writer) error {
+	var tmp [8]byte
 	wu64 := func(v uint64) error {
 		binary.LittleEndian.PutUint64(tmp[:], v)
-		_, err := bw.Write(tmp[:])
+		_, err := w.Write(tmp[:])
 		return err
 	}
 	if err := wu64(uint64(d.agg)); err != nil {
@@ -61,27 +117,84 @@ func (d *Detector) Save(w io.Writer) error {
 		if err := wu64(uint64(len(blob))); err != nil {
 			return err
 		}
-		if _, err := bw.Write(blob); err != nil {
+		if _, err := w.Write(blob); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// Load deserializes a detector produced by Save.
+// Load deserializes a detector produced by Save. It accepts the current v2
+// format (verifying the length header and CRC64 trailer) and legacy v1
+// files (best-effort, no integrity envelope). Any failure — wrong magic,
+// truncation, implausible counts, checksum mismatch — returns an error
+// wrapping ErrCorruptModel and never panics.
 func Load(r io.Reader) (*Detector, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(modelMagic))
+	magic := make([]byte, len(magicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("core: reading model magic: %w", err)
+		return nil, corruptf("reading model magic: %v", err)
 	}
-	if string(magic) != string(modelMagic) {
-		return nil, errors.New("core: not an Auto-Detect model")
+	switch {
+	case bytes.Equal(magic, magicV2):
+		return loadV2(br)
+	case bytes.Equal(magic, magicV1):
+		return decodePayload(br)
+	default:
+		return nil, corruptf("not an Auto-Detect model")
 	}
+}
+
+// loadV2 decodes "u64 length | payload | u64 CRC64(payload)". The payload
+// is decoded as a bounded stream while the checksum accumulates, so a
+// corrupted length field cannot drive an unbounded allocation.
+func loadV2(br *bufio.Reader) (*Detector, error) {
+	var tmp [8]byte
+	if _, err := io.ReadFull(br, tmp[:]); err != nil {
+		return nil, corruptf("reading payload length: %v", err)
+	}
+	plen := binary.LittleEndian.Uint64(tmp[:])
+	if plen > maxPayloadBytes {
+		return nil, corruptf("payload length %d exceeds cap", plen)
+	}
+	h := crc64.New(crcTable)
+	cr := &countingReader{r: io.TeeReader(io.LimitReader(br, int64(plen)), h)}
+	det, err := decodePayload(cr)
+	if err != nil {
+		return nil, err
+	}
+	if cr.n != int64(plen) {
+		return nil, corruptf("payload length %d does not match decoded size %d", plen, cr.n)
+	}
+	if _, err := io.ReadFull(br, tmp[:]); err != nil {
+		return nil, corruptf("reading checksum trailer: %v", err)
+	}
+	if want, got := binary.LittleEndian.Uint64(tmp[:]), h.Sum64(); want != got {
+		return nil, corruptf("checksum mismatch: file says %016x, payload hashes to %016x", want, got)
+	}
+	return det, nil
+}
+
+// countingReader counts bytes consumed from the underlying reader.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// decodePayload reads the version-independent model body, validating every
+// count and every structural invariant of the calibration data before
+// allocating or trusting it.
+func decodePayload(r io.Reader) (*Detector, error) {
 	var tmp [8]byte
 	ru64 := func() (uint64, error) {
-		if _, err := io.ReadFull(br, tmp[:]); err != nil {
-			return 0, err
+		if _, err := io.ReadFull(r, tmp[:]); err != nil {
+			return 0, corruptf("truncated model: %v", err)
 		}
 		return binary.LittleEndian.Uint64(tmp[:]), nil
 	}
@@ -89,12 +202,15 @@ func Load(r io.Reader) (*Detector, error) {
 	if err != nil {
 		return nil, err
 	}
+	if aggv > uint64(AggWeightedMajorityVote) {
+		return nil, corruptf("unknown aggregation strategy %d", aggv)
+	}
 	nl, err := ru64()
 	if err != nil {
 		return nil, err
 	}
-	if nl == 0 || nl > 1024 {
-		return nil, errors.New("core: corrupt language count")
+	if nl == 0 || nl > maxModelLanguages {
+		return nil, corruptf("implausible language count %d", nl)
 	}
 	cals := make([]*Calibration, 0, nl)
 	for i := uint64(0); i < nl; i++ {
@@ -104,17 +220,23 @@ func Load(r io.Reader) (*Detector, error) {
 			return nil, err
 		}
 		c.Theta = math.Float64frombits(th)
+		if math.IsNaN(c.Theta) {
+			return nil, corruptf("language %d: threshold is NaN", i)
+		}
 		tp, err := ru64()
 		if err != nil {
 			return nil, err
 		}
 		c.TargetPrecision = math.Float64frombits(tp)
+		if math.IsNaN(c.TargetPrecision) || c.TargetPrecision < 0 || c.TargetPrecision > 1 {
+			return nil, corruptf("language %d: target precision out of range", i)
+		}
 		ns, err := ru64()
 		if err != nil {
 			return nil, err
 		}
-		if ns > 1<<30 {
-			return nil, errors.New("core: corrupt curve length")
+		if ns > maxCurvePoints {
+			return nil, corruptf("language %d: implausible curve length %d", i, ns)
 		}
 		c.scores = make([]float64, ns)
 		for j := range c.scores {
@@ -122,34 +244,54 @@ func Load(r io.Reader) (*Detector, error) {
 			if err != nil {
 				return nil, err
 			}
-			c.scores[j] = math.Float64frombits(v)
+			s := math.Float64frombits(v)
+			if math.IsNaN(s) {
+				return nil, corruptf("language %d: curve score %d is NaN", i, j)
+			}
+			if j > 0 && s < c.scores[j-1] {
+				return nil, corruptf("language %d: curve scores not sorted at %d", i, j)
+			}
+			c.scores[j] = s
 		}
 		c.prefixNeg = make([]int, ns)
+		prev := uint64(0)
 		for j := range c.prefixNeg {
 			v, err := ru64()
 			if err != nil {
 				return nil, err
 			}
+			// prefixNeg[j] counts incompatible examples among scores[0..j]:
+			// it must fit the prefix, never decrease, and grow by at most
+			// one per step. That also guarantees the uint64→int cast is
+			// safe on every platform.
+			if v > uint64(j+1) || v < prev || v > prev+1 {
+				return nil, corruptf("language %d: invalid precision-curve prefix at %d", i, j)
+			}
+			prev = v
 			c.prefixNeg[j] = int(v)
 		}
 		bl, err := ru64()
 		if err != nil {
 			return nil, err
 		}
-		if bl > 1<<32 {
-			return nil, errors.New("core: corrupt statistics length")
+		if bl > maxStatsBlob {
+			return nil, corruptf("language %d: implausible statistics length %d", i, bl)
 		}
 		blob := make([]byte, bl)
-		if _, err := io.ReadFull(br, blob); err != nil {
-			return nil, err
+		if _, err := io.ReadFull(r, blob); err != nil {
+			return nil, corruptf("language %d: truncated statistics: %v", i, err)
 		}
 		ls := &stats.LanguageStats{}
 		if err := ls.UnmarshalBinary(blob); err != nil {
-			return nil, fmt.Errorf("core: language %d statistics: %w", i, err)
+			return nil, corruptf("language %d statistics: %v", i, err)
 		}
 		c.Stats = ls
 		c.coverage = NewBitset(0)
 		cals = append(cals, c)
 	}
-	return NewDetector(cals, Aggregation(aggv))
+	det, err := NewDetector(cals, Aggregation(aggv))
+	if err != nil {
+		return nil, corruptf("%v", err)
+	}
+	return det, nil
 }

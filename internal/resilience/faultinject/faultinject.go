@@ -1,0 +1,110 @@
+// Package faultinject provides the fault-injection primitives used to
+// prove the serving stack survives hostile conditions: slow-loris and
+// flaky request bodies, truncated or bit-flipped model streams, and
+// panicking or stalling handlers. It is a test harness, not production
+// code — production packages must not import it outside of tests.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ErrInjected is the default failure returned by injected faults.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// SlowReader delivers the underlying stream at most Chunk bytes per Read,
+// sleeping Delay before each chunk — a cooperative slow-loris client.
+type SlowReader struct {
+	R     io.Reader
+	Delay time.Duration
+	Chunk int // bytes per read; 1 if unset
+}
+
+func (s *SlowReader) Read(p []byte) (int, error) {
+	if s.Delay > 0 {
+		time.Sleep(s.Delay)
+	}
+	chunk := s.Chunk
+	if chunk <= 0 {
+		chunk = 1
+	}
+	if len(p) > chunk {
+		p = p[:chunk]
+	}
+	return s.R.Read(p)
+}
+
+// FlakyReader returns Err (ErrInjected if nil) once After bytes have been
+// delivered — a connection dying mid-body or mid-model.
+type FlakyReader struct {
+	R     io.Reader
+	After int64
+	Err   error
+
+	read int64
+}
+
+func (f *FlakyReader) Read(p []byte) (int, error) {
+	if f.read >= f.After {
+		if f.Err != nil {
+			return 0, f.Err
+		}
+		return 0, ErrInjected
+	}
+	if rem := f.After - f.read; int64(len(p)) > rem {
+		p = p[:rem]
+	}
+	n, err := f.R.Read(p)
+	f.read += int64(n)
+	return n, err
+}
+
+// Truncated yields only the first n bytes of r and then a clean EOF — a
+// file cut short by a partial write or copy.
+func Truncated(r io.Reader, n int64) io.Reader {
+	return io.LimitReader(r, n)
+}
+
+// FlipReader XORs Mask into the byte at Offset — a single corrupted byte
+// in an otherwise intact stream.
+type FlipReader struct {
+	R      io.Reader
+	Offset int64
+	Mask   byte
+
+	pos int64
+}
+
+func (f *FlipReader) Read(p []byte) (int, error) {
+	n, err := f.R.Read(p)
+	if idx := f.Offset - f.pos; idx >= 0 && idx < int64(n) {
+		p[idx] ^= f.Mask
+	}
+	f.pos += int64(n)
+	return n, err
+}
+
+// PanicHandler panics with v on every request — a detector (or any
+// downstream dependency) blowing up mid-request.
+func PanicHandler(v any) http.Handler {
+	return http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(v)
+	})
+}
+
+// SlowHandler sleeps d before delegating to next, honoring request-context
+// cancellation so a timed-out request does not pin the goroutine for the
+// full delay.
+func SlowHandler(d time.Duration, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(d):
+		case <-r.Context().Done():
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

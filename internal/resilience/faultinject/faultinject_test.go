@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowReaderDeliversEverythingSlowly(t *testing.T) {
+	src := "hello, slow world"
+	sr := &SlowReader{R: strings.NewReader(src), Delay: time.Millisecond, Chunk: 3}
+	start := time.Now()
+	got, err := io.ReadAll(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != src {
+		t.Fatalf("got %q", got)
+	}
+	// ceil(17/3) = 6 chunks, so at least 6ms of injected delay.
+	if elapsed := time.Since(start); elapsed < 6*time.Millisecond {
+		t.Errorf("read finished in %s, delay not injected", elapsed)
+	}
+}
+
+func TestFlakyReaderFailsAfterN(t *testing.T) {
+	fr := &FlakyReader{R: strings.NewReader("0123456789"), After: 4}
+	got, err := io.ReadAll(fr)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if string(got) != "0123" {
+		t.Fatalf("delivered %q before failing", got)
+	}
+
+	custom := errors.New("connection reset")
+	fr = &FlakyReader{R: strings.NewReader("abc"), After: 0, Err: custom}
+	if _, err := io.ReadAll(fr); !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want custom error", err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	got, err := io.ReadAll(Truncated(strings.NewReader("0123456789"), 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "0123456" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFlipReaderFlipsExactlyOneByte(t *testing.T) {
+	src := bytes.Repeat([]byte{0x00}, 64)
+	fr := &FlipReader{R: bytes.NewReader(src), Offset: 41, Mask: 0x80}
+	got, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		want := byte(0x00)
+		if i == 41 {
+			want = 0x80
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+}
+
+func TestFlipReaderAcrossSmallReads(t *testing.T) {
+	// The flip must land correctly even when Reads straddle the offset.
+	src := bytes.Repeat([]byte{0xFF}, 16)
+	fr := &FlipReader{R: iotest{r: bytes.NewReader(src), chunk: 3}, Offset: 10, Mask: 0x01}
+	got, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[10] != 0xFE {
+		t.Fatalf("byte 10 = %#x, want 0xFE", got[10])
+	}
+}
+
+// iotest caps each Read at chunk bytes.
+type iotest struct {
+	r     io.Reader
+	chunk int
+}
+
+func (i iotest) Read(p []byte) (int, error) {
+	if len(p) > i.chunk {
+		p = p[:i.chunk]
+	}
+	return i.r.Read(p)
+}
+
+func TestPanicHandlerPanics(t *testing.T) {
+	defer func() {
+		if p := recover(); p != "kaboom" {
+			t.Fatalf("recovered %v", p)
+		}
+	}()
+	PanicHandler("kaboom").ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	t.Fatal("handler did not panic")
+}
+
+func TestSlowHandlerHonorsCancellation(t *testing.T) {
+	h := SlowHandler(time.Hour, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("inner handler ran despite cancellation")
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("GET", "/", nil).WithContext(ctx)
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(httptest.NewRecorder(), req)
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SlowHandler ignored context cancellation")
+	}
+}

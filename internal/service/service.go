@@ -1,38 +1,101 @@
 // Package service exposes a trained Auto-Detect model over HTTP — the
 // "spell-checker for data" deployment the paper targets (error detection
 // as an always-on background service; Appendix G discusses the background
-// execution mode). The API is JSON over four endpoints:
+// execution mode). The API is JSON over these endpoints:
 //
 //	GET  /v1/health        → model summary
+//	GET  /v1/livez         → liveness probe (process is up)
+//	GET  /v1/readyz        → readiness probe (a model is loaded)
 //	POST /v1/check-column  → findings for one column
 //	POST /v1/check-table   → findings for every column of a table
 //	POST /v1/check-pair    → verdict for a single value pair
+//	POST /v1/admin/reload  → hot-swap the model (when a Reload hook is set)
+//
+// Every request flows through the internal/resilience hardening chain:
+// request-ID injection, panic recovery, load shedding (429 + Retry-After
+// past MaxInFlight), a per-request deadline, and a body-size cap. The
+// probe endpoints bypass the limiter and deadline so orchestrators can
+// still see a live process under overload.
+//
+// The model is held behind an atomic pointer: reloads swap the detector
+// and semantic model together, and every request snapshots the pair once,
+// so in-flight requests always score against one consistent model and
+// never observe a partial swap.
 package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"mime"
 	"net/http"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/repair"
+	"repro/internal/resilience"
 	"repro/internal/semantic"
 )
 
-// Server serves error-detection requests from a trained detector and an
-// optional value-level semantic model.
-type Server struct {
+// model pairs the pattern detector with the optional value-level semantic
+// model so both swap atomically on reload.
+type model struct {
 	det *core.Detector
 	sem *semantic.Model
+}
+
+// Server serves error-detection requests from a trained detector and an
+// optional value-level semantic model. Configure the exported limits
+// before calling Handler; they are read once when the handler is built.
+type Server struct {
+	cur atomic.Pointer[model]
 
 	// MaxValues bounds the accepted column length (default 10000).
 	MaxValues int
+	// MaxBodyBytes caps request bodies (default 8 MiB; <= 0 disables).
+	MaxBodyBytes int64
+	// MaxInFlight bounds concurrent requests; excess requests receive
+	// 429 with Retry-After (default 256; <= 0 disables).
+	MaxInFlight int
+	// RequestTimeout bounds each request's wall-clock time (default 30s;
+	// <= 0 disables).
+	RequestTimeout time.Duration
+	// Reload, when set, is invoked by POST /v1/admin/reload (and by the
+	// daemon's SIGHUP handler) to produce a replacement model. A nil hook
+	// makes the endpoint answer 501.
+	Reload func() (*core.Detector, *semantic.Model, error)
+	// Logf receives panic reports and reload outcomes (nil discards).
+	Logf func(format string, args ...any)
 }
 
-// New returns a server; sem may be nil to disable value-level checks.
+// New returns a server; sem may be nil to disable value-level checks, and
+// det may be nil to start not-ready (readyz answers 503 until Swap).
 func New(det *core.Detector, sem *semantic.Model) *Server {
-	return &Server{det: det, sem: sem, MaxValues: 10000}
+	s := &Server{
+		MaxValues:      10000,
+		MaxBodyBytes:   8 << 20,
+		MaxInFlight:    256,
+		RequestTimeout: 30 * time.Second,
+	}
+	if det != nil {
+		s.cur.Store(&model{det: det, sem: sem})
+	}
+	return s
 }
+
+// Swap atomically replaces the served model. In-flight requests finish
+// against whichever model they snapshotted; new requests see the new one.
+func (s *Server) Swap(det *core.Detector, sem *semantic.Model) error {
+	if det == nil {
+		return errors.New("service: cannot swap in a nil detector")
+	}
+	s.cur.Store(&model{det: det, sem: sem})
+	return nil
+}
+
+// snapshot returns the current model, or nil before the first Swap.
+func (s *Server) snapshot() *model { return s.cur.Load() }
 
 // Finding mirrors core.Finding for JSON.
 type Finding struct {
@@ -89,7 +152,7 @@ type pairResponse struct {
 	} `json:"by_language"`
 }
 
-// healthResponse is the body of /v1/health responses.
+// healthResponse is the body of /v1/health and reload responses.
 type healthResponse struct {
 	Status    string `json:"status"`
 	Languages int    `json:"languages"`
@@ -97,14 +160,32 @@ type healthResponse struct {
 	Semantic  bool   `json:"semantic"`
 }
 
-// Handler returns the HTTP handler.
+// Handler returns the HTTP handler with the hardening chain applied.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/health", s.handleHealth)
-	mux.HandleFunc("/v1/check-column", s.handleColumn)
-	mux.HandleFunc("/v1/check-table", s.handleTable)
-	mux.HandleFunc("/v1/check-pair", s.handlePair)
-	return mux
+	api := http.NewServeMux()
+	api.HandleFunc("/v1/health", s.handleHealth)
+	api.HandleFunc("/v1/check-column", s.handleColumn)
+	api.HandleFunc("/v1/check-table", s.handleTable)
+	api.HandleFunc("/v1/check-pair", s.handlePair)
+	api.HandleFunc("/v1/admin/reload", s.handleReload)
+
+	hardened := resilience.Chain(
+		resilience.Limit(s.MaxInFlight, time.Second),
+		resilience.Timeout(s.RequestTimeout),
+		resilience.MaxBytes(s.MaxBodyBytes),
+	)(api)
+
+	// Probes sit outside the limiter and deadline: an orchestrator must
+	// be able to distinguish "alive but shedding load" from "dead".
+	root := http.NewServeMux()
+	root.HandleFunc("/v1/livez", s.handleLivez)
+	root.HandleFunc("/v1/readyz", s.handleReadyz)
+	root.Handle("/", hardened)
+
+	return resilience.Chain(
+		resilience.RequestID(),
+		resilience.Recover(s.Logf),
+	)(root)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -113,30 +194,124 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+func writeErr(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	writeJSON(w, status, map[string]string{
+		"error":      msg,
+		"request_id": resilience.RequestIDFrom(r.Context()),
+	})
+}
+
+// decodeJSON enforces method, content type, and the body cap, then decodes
+// the request body into v. It writes the error response and returns false
+// on any failure.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeErr(w, r, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != "application/json" {
+		writeErr(w, r, http.StatusUnsupportedMediaType, "Content-Type must be application/json")
+		return false
+	}
+	if s.MaxBodyBytes > 0 {
+		// Belt and braces: the resilience.MaxBytes middleware caps the
+		// body too, but the handler must be safe even when mounted bare.
+		r.Body = http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, r, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		writeErr(w, r, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// ready writes a 503 and returns nil when no model is loaded yet.
+func (s *Server) ready(w http.ResponseWriter, r *http.Request) *model {
+	m := s.snapshot()
+	if m == nil {
+		writeErr(w, r, http.StatusServiceUnavailable, "no model loaded")
+		return nil
+	}
+	return m
+}
+
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.snapshot() == nil {
+		writeErr(w, r, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		writeErr(w, r, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	m := s.ready(w, r)
+	if m == nil {
 		return
 	}
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:    "ok",
-		Languages: len(s.det.Languages()),
-		Bytes:     s.det.Bytes(),
-		Semantic:  s.sem != nil,
+		Languages: len(m.det.Languages()),
+		Bytes:     m.det.Bytes(),
+		Semantic:  m.sem != nil,
 	})
 }
 
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, r, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.Reload == nil {
+		writeErr(w, r, http.StatusNotImplemented, "no reload hook configured")
+		return
+	}
+	det, sem, err := s.Reload()
+	if err != nil {
+		s.logf("reload failed: %v", err)
+		writeErr(w, r, http.StatusInternalServerError, "reload failed: "+err.Error())
+		return
+	}
+	if err := s.Swap(det, sem); err != nil {
+		writeErr(w, r, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.logf("reload succeeded: %d languages, %d bytes", len(det.Languages()), det.Bytes())
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:    "reloaded",
+		Languages: len(det.Languages()),
+		Bytes:     det.Bytes(),
+		Semantic:  sem != nil,
+	})
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
 // checkColumn runs both detectors over a column.
-func (s *Server) checkColumn(values []string, minConf float64) []Finding {
+func (m *model) checkColumn(values []string, minConf float64) []Finding {
 	if minConf == 0 {
 		minConf = 0.5
 	}
 	var out []Finding
-	for _, f := range s.det.DetectColumn(values) {
+	for _, f := range m.det.DetectColumn(values) {
 		if f.Confidence < minConf {
 			continue
 		}
@@ -150,8 +325,8 @@ func (s *Server) checkColumn(values []string, minConf float64) []Finding {
 		}
 		out = append(out, sf)
 	}
-	if s.sem != nil {
-		for _, f := range s.sem.DetectColumn(values) {
+	if m.sem != nil {
+		for _, f := range m.sem.DetectColumn(values) {
 			if f.Confidence < minConf {
 				continue
 			}
@@ -165,39 +340,37 @@ func (s *Server) checkColumn(values []string, minConf float64) []Finding {
 }
 
 func (s *Server) handleColumn(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+	m := s.ready(w, r)
+	if m == nil {
 		return
 	}
 	var req columnRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Values) == 0 {
-		writeErr(w, http.StatusBadRequest, "values is empty")
+		writeErr(w, r, http.StatusBadRequest, "values is empty")
 		return
 	}
 	if len(req.Values) > s.MaxValues {
-		writeErr(w, http.StatusRequestEntityTooLarge,
+		writeErr(w, r, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("at most %d values per column", s.MaxValues))
 		return
 	}
-	writeJSON(w, http.StatusOK, columnResponse{Findings: s.checkColumn(req.Values, req.MinConfidence)})
+	writeJSON(w, http.StatusOK, columnResponse{Findings: m.checkColumn(req.Values, req.MinConfidence)})
 }
 
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+	m := s.ready(w, r)
+	if m == nil {
 		return
 	}
 	var req tableRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Columns) == 0 {
-		writeErr(w, http.StatusBadRequest, "columns is empty")
+		writeErr(w, r, http.StatusBadRequest, "columns is empty")
 		return
 	}
 	total := 0
@@ -205,12 +378,12 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		total += len(vs)
 	}
 	if total > s.MaxValues*10 {
-		writeErr(w, http.StatusRequestEntityTooLarge, "table too large")
+		writeErr(w, r, http.StatusRequestEntityTooLarge, "table too large")
 		return
 	}
 	resp := tableResponse{Columns: map[string][]Finding{}}
 	for name, vs := range req.Columns {
-		if fs := s.checkColumn(vs, req.MinConfidence); len(fs) > 0 {
+		if fs := m.checkColumn(vs, req.MinConfidence); len(fs) > 0 {
 			resp.Columns[name] = fs
 		}
 	}
@@ -218,20 +391,19 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+	m := s.ready(w, r)
+	if m == nil {
 		return
 	}
 	var req pairRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.A == "" || req.B == "" {
-		writeErr(w, http.StatusBadRequest, "need both a and b")
+		writeErr(w, r, http.StatusBadRequest, "need both a and b")
 		return
 	}
-	ps := s.det.ScorePair(req.A, req.B)
+	ps := m.det.ScorePair(req.A, req.B)
 	resp := pairResponse{Incompatible: ps.Flagged, Confidence: ps.Confidence}
 	for _, l := range ps.ByLanguage {
 		resp.ByLanguage = append(resp.ByLanguage, struct {

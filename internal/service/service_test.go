@@ -17,35 +17,43 @@ import (
 )
 
 var (
+	mdlOnce sync.Once
+	mdlDet  *core.Detector
+	mdlSem  *semantic.Model
+	mdlErr  error
+
 	srvOnce sync.Once
 	srv     *httptest.Server
-	srvErr  error
 )
 
-func testServer(t *testing.T) *httptest.Server {
+// trainedModel trains one detector + semantic model shared by every test.
+func trainedModel(t *testing.T) (*core.Detector, *semantic.Model) {
 	t.Helper()
-	srvOnce.Do(func() {
+	mdlOnce.Do(func() {
 		c := corpus.Generate(corpus.WebProfile(), 3000, 31)
 		cfg := core.DefaultTrainConfig()
 		cfg.Languages = []pattern.Language{pattern.Crude(), pattern.L1(), pattern.L2()}
 		ds := distsup.DefaultConfig()
 		ds.PositivePairs, ds.NegativePairs = 2500, 2500
 		cfg.DistSup = ds
-		det, _, err := core.Train(c, cfg)
-		if err != nil {
-			srvErr = err
+		mdlDet, _, mdlErr = core.Train(c, cfg)
+		if mdlErr != nil {
 			return
 		}
-		sem, err := semantic.Train(c, semantic.DefaultConfig())
-		if err != nil {
-			srvErr = err
-			return
-		}
+		mdlSem, mdlErr = semantic.Train(c, semantic.DefaultConfig())
+	})
+	if mdlErr != nil {
+		t.Fatal(mdlErr)
+	}
+	return mdlDet, mdlSem
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	det, sem := trainedModel(t)
+	srvOnce.Do(func() {
 		srv = httptest.NewServer(New(det, sem).Handler())
 	})
-	if srvErr != nil {
-		t.Fatal(srvErr)
-	}
 	return srv
 }
 
