@@ -22,6 +22,7 @@
 package autodetect
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/distsup"
 	"repro/internal/pattern"
+	"repro/internal/pipeline"
 )
 
 // Config parameterizes training.
@@ -130,11 +132,16 @@ func trainOn(c *corpus.Corpus, cfg Config) (*Model, error) {
 		ds.Seed = cfg.Seed
 	}
 	tc.DistSup = ds
-	det, rep, err := core.Train(c, tc)
+	// All training flows through the streaming pipeline; one worker and an
+	// uncapped sample reproduce the legacy in-memory Train path exactly.
+	res, err := pipeline.Run(context.Background(), pipeline.NewSliceSource(c.Columns), pipeline.Options{
+		Workers: 1,
+		Train:   tc,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &Model{det: det, report: rep}, nil
+	return &Model{det: res.Detector, report: res.Report}, nil
 }
 
 // DetectColumn returns the suspected errors of a column, ranked by

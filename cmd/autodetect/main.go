@@ -18,17 +18,24 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/distsup"
 	"repro/internal/eval"
+	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/repair"
 	"repro/internal/report"
@@ -65,7 +72,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  autodetect train  -out model.bin [-profile web|spreadsheet] [-columns N] [-corpus file.csv] [-pairs N] [-budget MB] [-precision P] [-seed N]
+  autodetect train  -out model.bin [-profile web|spreadsheet] [-columns N] [-corpus file.csv] [-dir tables/] [-workers N] [-checkpoint dir/] [-checkpoint-every N] [-sample N] [-pairs N] [-budget MB] [-precision P] [-seed N]
   autodetect detect -model model.bin -in data.csv [-header] [-min-confidence P]
   autodetect pair   -model model.bin VALUE1 VALUE2
   autodetect baselines -in data.csv [-header]
@@ -79,6 +86,12 @@ func cmdTrain(args []string) error {
 	profile := fs.String("profile", "web", "synthetic corpus profile (web|spreadsheet)")
 	columns := fs.Int("columns", 20000, "synthetic corpus size")
 	corpusPath := fs.String("corpus", "", "train on the columns of this CSV instead of a synthetic corpus")
+	dir := fs.String("dir", "", "train on every .csv/.tsv under this directory, streamed one table at a time")
+	header := fs.Bool("header", true, "table files start with a header row (-corpus/-dir)")
+	workers := fs.Int("workers", runtime.NumCPU(), "counting/calibration parallelism")
+	checkpoint := fs.String("checkpoint", "", "checkpoint directory: periodic shard saves, resume on restart")
+	checkpointEvery := fs.Int("checkpoint-every", 100000, "columns between checkpoints")
+	sample := fs.Int("sample", 0, "cap the distant-supervision column sample (0 = keep every column)")
 	pairs := fs.Int("pairs", 20000, "distant-supervision pairs per class")
 	budget := fs.Int("budget", 64, "memory budget in MB")
 	precision := fs.Float64("precision", 0.95, "target precision P")
@@ -86,20 +99,31 @@ func cmdTrain(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *dir != "" && *corpusPath != "" {
+		return fmt.Errorf("-dir and -corpus are mutually exclusive")
+	}
 
-	var c *corpus.Corpus
-	if *corpusPath != "" {
+	var src pipeline.ColumnSource
+	switch {
+	case *dir != "":
+		ds, err := pipeline.NewDirSource(*dir, *header)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("streaming %d table files under %s...\n", ds.Files(), *dir)
+		src = ds
+	case *corpusPath != "":
 		f, err := os.Open(*corpusPath)
 		if err != nil {
 			return err
 		}
-		cols, err := corpus.ReadCSV(f, true)
+		cols, err := corpus.ReadCSV(f, *header)
 		f.Close()
 		if err != nil {
 			return err
 		}
-		c = &corpus.Corpus{Name: *corpusPath, Columns: cols}
-	} else {
+		src = pipeline.NewSliceSource(cols)
+	default:
 		var p corpus.Profile
 		switch *profile {
 		case "web":
@@ -109,8 +133,8 @@ func cmdTrain(args []string) error {
 		default:
 			return fmt.Errorf("unknown profile %q", *profile)
 		}
-		fmt.Printf("generating %d synthetic %s columns...\n", *columns, p.Name)
-		c = corpus.Generate(p, *columns, *seed)
+		fmt.Printf("streaming %d synthetic %s columns...\n", *columns, p.Name)
+		src = pipeline.NewGeneratedSource(p, *columns, *seed)
 	}
 
 	cfg := core.DefaultTrainConfig()
@@ -122,18 +146,35 @@ func cmdTrain(args []string) error {
 	ds.Seed = *seed
 	cfg.DistSup = ds
 
-	fmt.Printf("training on %d columns (%d candidate languages)...\n", c.NumColumns(), 144)
-	var det *core.Detector
-	var rep *core.TrainReport
-	var err error
-	if c.NumColumns() > 15000 {
-		// Large corpora: bound peak memory with batched training.
-		det, rep, err = core.TrainBatched(c, cfg, 16)
-	} else {
-		det, rep, err = core.Train(c, cfg)
-	}
+	// SIGINT/SIGTERM cancel the build; with -checkpoint set the pipeline
+	// persists a final shard first, so the same command resumes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("training with %d workers (%d candidate languages)...\n", *workers, 144)
+	res, err := pipeline.Run(ctx, src, pipeline.Options{
+		Workers:         *workers,
+		Train:           cfg,
+		SampleColumns:   *sample,
+		CheckpointDir:   *checkpoint,
+		CheckpointEvery: *checkpointEvery,
+		Progress:        func(p pipeline.Progress) { pipeline.WriteProgress(os.Stderr, p) },
+		ProgressEvery:   2 * time.Second,
+	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) && *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "interrupted; progress saved under %s — rerun the same command to resume\n", *checkpoint)
+		}
 		return err
+	}
+	rep := res.Report
+	fmt.Printf("trained on %d columns (%d values) in %s", res.Columns, res.Values, res.Elapsed.Round(10*time.Millisecond))
+	if res.ResumedColumns > 0 {
+		fmt.Printf(" (%d columns restored from checkpoint)", res.ResumedColumns)
+	}
+	fmt.Println()
+	for _, st := range res.Stages {
+		fmt.Printf("  %-9s %s\n", st.Stage, st.Duration.Round(time.Millisecond))
 	}
 	fmt.Printf("selected %d languages, %d bytes of statistics, coverage %d/%d negatives\n",
 		len(rep.Selected), rep.SelectedBytes, rep.Coverage, rep.TrainingExamples/2)
@@ -145,7 +186,7 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	defer f.Close()
-	if err := det.Save(f); err != nil {
+	if err := res.Detector.Save(f); err != nil {
 		return err
 	}
 	fmt.Printf("model written to %s\n", *out)

@@ -5,7 +5,8 @@
 // configurable load-shedding limits.
 //
 //	autodetectd -model model.bin -addr :8080
-//	autodetectd -train -columns 10000 -addr :8080    # train in-process first
+//	autodetectd -train-dir tables/ -addr :8080       # train on a CSV/TSV directory first
+//	autodetectd -train -columns 10000 -addr :8080    # train on a synthetic corpus first
 //
 // Endpoints:
 //
@@ -27,12 +28,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/distsup"
+	"repro/internal/pipeline"
 	"repro/internal/semantic"
 	"repro/internal/service"
 )
@@ -50,8 +53,11 @@ func loadModelFile(path string) (*core.Detector, error) {
 func main() {
 	modelPath := flag.String("model", "", "trained model path (see cmd/autodetect train)")
 	train := flag.Bool("train", false, "train an in-process model on a synthetic corpus instead")
+	trainDir := flag.String("train-dir", "", "train at startup on the .csv/.tsv tables under this directory (streamed); SIGHUP or /v1/admin/reload retrains and hot-swaps")
 	columns := flag.Int("columns", 10000, "synthetic corpus size when -train is set")
-	pairs := flag.Int("pairs", 10000, "distant-supervision pairs per class when -train is set")
+	pairs := flag.Int("pairs", 10000, "distant-supervision pairs per class when training in-process")
+	workers := flag.Int("workers", runtime.NumCPU(), "pipeline parallelism for in-process training")
+	sample := flag.Int("sample", 100000, "distant-supervision column sample cap for -train-dir (0 = keep all columns in memory)")
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 1, "random seed when -train is set")
 	maxInflight := flag.Int("max-inflight", 256, "concurrent requests before shedding with 429 (0 disables)")
@@ -59,6 +65,36 @@ func main() {
 	maxBodyBytes := flag.Int64("max-body-bytes", 8<<20, "request body cap in bytes (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "connection-draining budget on shutdown")
 	flag.Parse()
+
+	trainConfig := func() core.TrainConfig {
+		cfg := core.DefaultTrainConfig()
+		ds := distsup.DefaultConfig()
+		ds.PositivePairs, ds.NegativePairs = *pairs, *pairs
+		ds.Seed = *seed
+		cfg.DistSup = ds
+		return cfg
+	}
+	// buildFromDir streams the directory corpus through the sharded
+	// pipeline; it is re-invoked on SIGHUP / admin reload so the serving
+	// model tracks the table directory without a restart.
+	buildFromDir := func() (*core.Detector, error) {
+		src, err := pipeline.NewDirSource(*trainDir, true)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("pipeline build: %d table files under %s, %d workers...", src.Files(), *trainDir, *workers)
+		res, err := pipeline.Run(context.Background(), src, pipeline.Options{
+			Workers:       *workers,
+			Train:         trainConfig(),
+			SampleColumns: *sample,
+		})
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("pipeline build done: %d columns (%d values) in %s, %d languages selected",
+			res.Columns, res.Values, res.Elapsed.Round(time.Millisecond), len(res.Report.Selected))
+		return res.Detector, nil
+	}
 
 	var det *core.Detector
 	var sem *semantic.Model
@@ -74,27 +110,30 @@ func main() {
 		}
 		log.Printf("loaded model from %s (%d languages, %d bytes)",
 			*modelPath, len(det.Languages()), det.Bytes())
-	case *train:
-		log.Printf("training on %d synthetic columns...", *columns)
-		c := corpus.Generate(corpus.WebProfile(), *columns, *seed)
-		cfg := core.DefaultTrainConfig()
-		ds := distsup.DefaultConfig()
-		ds.PositivePairs, ds.NegativePairs = *pairs, *pairs
-		ds.Seed = *seed
-		cfg.DistSup = ds
+	case *trainDir != "":
 		var err error
-		var rep *core.TrainReport
-		det, rep, err = core.Train(c, cfg)
+		det, err = buildFromDir()
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("trained: %d languages, %d bytes", len(rep.Selected), rep.SelectedBytes)
+	case *train:
+		log.Printf("training on %d synthetic columns with %d workers...", *columns, *workers)
+		c := corpus.Generate(corpus.WebProfile(), *columns, *seed)
+		res, err := pipeline.Run(context.Background(), pipeline.NewSliceSource(c.Columns), pipeline.Options{
+			Workers: *workers,
+			Train:   trainConfig(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		det = res.Detector
+		log.Printf("trained: %d languages, %d bytes", len(res.Report.Selected), res.Report.SelectedBytes)
 		if sem, err = semantic.Train(c, semantic.DefaultConfig()); err != nil {
 			log.Printf("semantic model unavailable: %v", err)
 			sem = nil
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "autodetectd: need -model or -train")
+		fmt.Fprintln(os.Stderr, "autodetectd: need -model, -train-dir or -train")
 		os.Exit(2)
 	}
 
@@ -103,11 +142,18 @@ func main() {
 	svc.RequestTimeout = *requestTimeout
 	svc.MaxBodyBytes = *maxBodyBytes
 	svc.Logf = log.Printf
-	if *modelPath != "" {
+	switch {
+	case *modelPath != "":
 		// Hot reload re-reads the model file; the semantic model (only
 		// produced by -train) is not file-backed and stays as-is.
 		svc.Reload = func() (*core.Detector, *semantic.Model, error) {
 			d, err := loadModelFile(*modelPath)
+			return d, sem, err
+		}
+	case *trainDir != "":
+		// Hot reload retrains over the (possibly updated) directory.
+		svc.Reload = func() (*core.Detector, *semantic.Model, error) {
+			d, err := buildFromDir()
 			return d, sem, err
 		}
 	}
@@ -127,7 +173,7 @@ func main() {
 	go func() {
 		for range hup {
 			if svc.Reload == nil {
-				log.Printf("SIGHUP ignored: no -model file to reload from")
+				log.Printf("SIGHUP ignored: no -model file or -train-dir to reload from")
 				continue
 			}
 			d, sm, err := svc.Reload()

@@ -2,10 +2,15 @@
 // stand-ins for the paper's WEB / Pub-XLS / WIKI / Ent-XLS corpora.
 //
 //	corpusgen -profile wiki -columns 1000 -out wiki.csv
-//	corpusgen -profile web -columns 5000 -out web.csv -labels wiki-labels.txt
+//	corpusgen -profile web -columns 5000 -out web.csv -labels web-labels.txt
+//	corpusgen -profile web -columns 1000000 -out-dir corpus/ -cols-per-file 2000
 //
-// When -labels is given, planted-error ground truth is written as
-// "column<TAB>row<TAB>value" lines.
+// With -out the whole corpus is materialized into one CSV. With -out-dir
+// columns are streamed to numbered shard files as they are generated, so
+// corpora far larger than memory can be written; the shard directory feeds
+// straight into `autodetect train -dir`. When -labels is given, planted-error
+// ground truth is written as "column<TAB>row<TAB>value" lines (column
+// indices are global across shards).
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/corpus"
 )
@@ -20,29 +26,136 @@ import (
 func main() {
 	profile := flag.String("profile", "web", "profile: web|spreadsheet|wiki|enterprise|csvsuite")
 	columns := flag.Int("columns", 1000, "number of columns to generate")
-	out := flag.String("out", "corpus.csv", "output CSV path")
+	out := flag.String("out", "", "output CSV path (single file; default corpus.csv unless -out-dir is set)")
+	outDir := flag.String("out-dir", "", "stream the corpus into numbered CSV shards under this directory")
+	colsPerFile := flag.Int("cols-per-file", 2000, "columns per shard file with -out-dir")
 	labels := flag.String("labels", "", "optional ground-truth output path")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	var c *corpus.Corpus
+	if *out != "" && *outDir != "" {
+		fmt.Fprintln(os.Stderr, "corpusgen: -out and -out-dir are mutually exclusive")
+		os.Exit(2)
+	}
+	if *outDir == "" && *out == "" {
+		*out = "corpus.csv"
+	}
+	if *colsPerFile <= 0 {
+		fmt.Fprintln(os.Stderr, "corpusgen: -cols-per-file must be positive")
+		os.Exit(2)
+	}
+
+	var p corpus.Profile
 	switch *profile {
 	case "web":
-		c = corpus.Generate(corpus.WebProfile(), *columns, *seed)
+		p = corpus.WebProfile()
 	case "spreadsheet":
-		c = corpus.Generate(corpus.PubXLSProfile(), *columns, *seed)
+		p = corpus.PubXLSProfile()
 	case "wiki":
-		c = corpus.Generate(corpus.WikiProfile(), *columns, *seed)
+		p = corpus.WikiProfile()
 	case "enterprise":
-		c = corpus.Generate(corpus.EntXLSProfile(), *columns, *seed)
+		p = corpus.EntXLSProfile()
 	case "csvsuite":
-		c = corpus.CSVSuite()
+		c := corpus.CSVSuite()
+		if *outDir != "" {
+			writeSharded(sliceNext(c.Columns), len(c.Columns), *outDir, *colsPerFile, *labels)
+		} else {
+			writeSingle(c, *out, *labels)
+		}
+		return
 	default:
 		fmt.Fprintf(os.Stderr, "corpusgen: unknown profile %q\n", *profile)
 		os.Exit(2)
 	}
 
-	f, err := os.Create(*out)
+	if *outDir != "" {
+		// Stream: only one shard's worth of columns is ever in memory.
+		stream := corpus.NewStream(p, *seed)
+		writeSharded(stream.Next, *columns, *outDir, *colsPerFile, *labels)
+		return
+	}
+	writeSingle(corpus.Generate(p, *columns, *seed), *out, *labels)
+}
+
+// sliceNext adapts a materialized column slice to the streaming interface.
+func sliceNext(cols []*corpus.Column) func() *corpus.Column {
+	i := 0
+	return func() *corpus.Column {
+		c := cols[i]
+		i++
+		return c
+	}
+}
+
+// writeSharded drains n columns from next into numbered CSV shards of at
+// most colsPerFile columns each, emitting ground truth (with global column
+// indices) along the way.
+func writeSharded(next func() *corpus.Column, n int, dir string, colsPerFile int, labelsPath string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	var lw *bufio.Writer
+	var lf *os.File
+	if labelsPath != "" {
+		var err error
+		if lf, err = os.Create(labelsPath); err != nil {
+			fail(err)
+		}
+		lw = bufio.NewWriter(lf)
+	}
+	written, values, dirtyCols, shards := 0, 0, 0, 0
+	for written < n {
+		take := colsPerFile
+		if left := n - written; left < take {
+			take = left
+		}
+		chunk := make([]*corpus.Column, take)
+		for i := range chunk {
+			chunk[i] = next()
+			values += len(chunk[i].Values)
+			if len(chunk[i].Dirty) > 0 {
+				dirtyCols++
+			}
+			if lw != nil {
+				for _, ri := range chunk[i].Dirty {
+					fmt.Fprintf(lw, "%d\t%d\t%s\n", written+i, ri, chunk[i].Values[ri])
+				}
+			}
+		}
+		path := filepath.Join(dir, fmt.Sprintf("shard-%06d.csv", shards))
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		w := bufio.NewWriter(f)
+		if err := corpus.WriteCSV(w, chunk); err != nil {
+			fail(err)
+		}
+		if err := w.Flush(); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		written += take
+		shards++
+	}
+	if lw != nil {
+		if err := lw.Flush(); err != nil {
+			fail(err)
+		}
+		if err := lf.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("ground truth written to %s\n", labelsPath)
+	}
+	fmt.Printf("wrote %d columns (%d cells, %d dirty columns) to %d shard files under %s\n",
+		written, values, dirtyCols, shards, dir)
+}
+
+// writeSingle materializes the corpus into one CSV, the original mode.
+func writeSingle(c *corpus.Corpus, out, labelsPath string) {
+	f, err := os.Create(out)
 	if err != nil {
 		fail(err)
 	}
@@ -57,10 +170,10 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("wrote %d columns (%d cells, %d dirty columns) to %s\n",
-		c.NumColumns(), c.NumValues(), c.DirtyColumns(), *out)
+		c.NumColumns(), c.NumValues(), c.DirtyColumns(), out)
 
-	if *labels != "" {
-		lf, err := os.Create(*labels)
+	if labelsPath != "" {
+		lf, err := os.Create(labelsPath)
 		if err != nil {
 			fail(err)
 		}
@@ -76,7 +189,7 @@ func main() {
 		if err := lf.Close(); err != nil {
 			fail(err)
 		}
-		fmt.Printf("ground truth written to %s\n", *labels)
+		fmt.Printf("ground truth written to %s\n", labelsPath)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/envelope"
 	"repro/internal/stats"
 )
 
@@ -37,8 +38,10 @@ const (
 	maxPayloadBytes   = 1 << 32 // total v2 payload bytes
 )
 
-// crcTable is the CRC64 polynomial used by the v2 integrity trailer.
-var crcTable = crc64.MakeTable(crc64.ECMA)
+// crcTable is the CRC64 polynomial used by the v2 integrity trailer; it is
+// the shared envelope polynomial, so model files and pipeline checkpoint
+// shards carry the same kind of trailer.
+var crcTable = envelope.Table()
 
 func corruptf(format string, args ...any) error {
 	return fmt.Errorf("core: %w: %s", ErrCorruptModel, fmt.Sprintf(format, args...))
@@ -56,24 +59,7 @@ func (d *Detector) Save(w io.Writer) error {
 	if err := d.encodePayload(&payload); err != nil {
 		return err
 	}
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magicV2); err != nil {
-		return err
-	}
-	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], uint64(payload.Len()))
-	if _, err := bw.Write(tmp[:]); err != nil {
-		return err
-	}
-	sum := crc64.Checksum(payload.Bytes(), crcTable)
-	if _, err := bw.Write(payload.Bytes()); err != nil {
-		return err
-	}
-	binary.LittleEndian.PutUint64(tmp[:], sum)
-	if _, err := bw.Write(tmp[:]); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return envelope.Write(w, magicV2, payload.Bytes())
 }
 
 // encodePayload writes the version-independent model body.

@@ -14,6 +14,7 @@
 package corpus
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -126,9 +127,25 @@ func (c *Corpus) DomainHistogram() []struct {
 
 // ReadCSV extracts the columns of a CSV table. If hasHeader is true the
 // first record provides column names; otherwise columns are named col0,
-// col1, ... Short rows leave trailing columns without a value for that row.
+// col1, ...
+//
+// The loader is hardened against the messy-file artifacts that otherwise
+// silently skew per-column value counts: a UTF-8 byte-order mark is
+// stripped before parsing (a BOM glued to the first header or value would
+// mint a spurious distinct pattern), ragged short rows are padded with
+// empty cells so every column keeps row-aligned values (without padding, a
+// short row shifts every later value of the trailing columns up a row), and
+// trailing columns that contain no data at all — the phantom columns minted
+// by a trailing comma on every row — are dropped.
 func ReadCSV(r io.Reader, hasHeader bool) ([]*Column, error) {
-	cr := csv.NewReader(r)
+	return ReadTable(r, ',', hasHeader)
+}
+
+// ReadTable is ReadCSV with a configurable field delimiter (',' for CSV,
+// '\t' for TSV), sharing the same BOM/ragged-row/phantom-column hardening.
+func ReadTable(r io.Reader, comma rune, hasHeader bool) ([]*Column, error) {
+	cr := csv.NewReader(stripBOM(r))
+	cr.Comma = comma
 	cr.FieldsPerRecord = -1
 	recs, err := cr.ReadAll()
 	if err != nil {
@@ -157,11 +174,43 @@ func ReadCSV(r io.Reader, hasHeader bool) ([]*Column, error) {
 		start = 1
 	}
 	for _, rec := range recs[start:] {
-		for i, v := range rec {
+		for i := 0; i < width; i++ {
+			v := ""
+			if i < len(rec) {
+				v = rec[i]
+			}
 			cols[i].Values = append(cols[i].Values, v)
 		}
 	}
+	// Drop trailing all-empty columns: no header text and no cell content.
+	for len(cols) > 0 {
+		last := cols[len(cols)-1]
+		if hasHeader && last.Name != fmt.Sprintf("col%d", len(cols)-1) {
+			break
+		}
+		empty := true
+		for _, v := range last.Values {
+			if v != "" {
+				empty = false
+				break
+			}
+		}
+		if !empty {
+			break
+		}
+		cols = cols[:len(cols)-1]
+	}
 	return cols, nil
+}
+
+// stripBOM removes a leading UTF-8 byte-order mark, which spreadsheet
+// exports routinely prepend.
+func stripBOM(r io.Reader) io.Reader {
+	br := bufio.NewReader(r)
+	if lead, err := br.Peek(3); err == nil && lead[0] == 0xEF && lead[1] == 0xBB && lead[2] == 0xBF {
+		br.Discard(3)
+	}
+	return br
 }
 
 // WriteCSV writes the columns as a CSV table with a header row. Columns of

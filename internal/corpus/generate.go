@@ -92,9 +92,31 @@ func EntXLSProfile() Profile {
 // Generate produces a corpus of numColumns columns under the profile,
 // deterministically for a given seed.
 func Generate(p Profile, numColumns int, seed int64) *Corpus {
-	r := rand.New(rand.NewSource(seed))
-	names, cum := cumulativeWeights(p.Weights)
+	s := NewStream(p, seed)
 	c := &Corpus{Name: p.Name, Columns: make([]*Column, 0, numColumns)}
+	for i := 0; i < numColumns; i++ {
+		c.Columns = append(c.Columns, s.Next())
+	}
+	return c
+}
+
+// Stream generates profile columns one at a time from a single deterministic
+// random stream, so arbitrarily large corpora can be produced — and consumed
+// by the corpus pipeline or written to sharded CSV files — without ever
+// materializing the whole corpus. Taking n columns from a Stream yields
+// exactly the columns of Generate(p, n, seed), in order.
+type Stream struct {
+	p                Profile
+	r                *rand.Rand
+	names            []string
+	cum              []float64
+	minRows, maxRows int
+	generated        uint64
+}
+
+// NewStream returns a column stream for the profile and seed.
+func NewStream(p Profile, seed int64) *Stream {
+	names, cum := cumulativeWeights(p.Weights)
 	minRows, maxRows := p.MinRows, p.MaxRows
 	if minRows < 2 {
 		minRows = 2
@@ -102,24 +124,34 @@ func Generate(p Profile, numColumns int, seed int64) *Corpus {
 	if maxRows < minRows {
 		maxRows = minRows
 	}
-	for i := 0; i < numColumns; i++ {
-		domain := names[sampleCumulative(r, cum)]
-		n := ri(r, minRows, maxRows)
-		col, err := GenerateColumn(r, domain, n)
-		if err != nil {
-			// Unreachable: names come from the domain table.
-			panic(err)
-		}
-		if p.Labeled {
-			col.Dirty = []int{}
-		}
-		if p.ErrorRate > 0 && r.Float64() < p.ErrorRate {
-			InjectError(r, col)
-		}
-		c.Columns = append(c.Columns, col)
+	return &Stream{
+		p: p, r: rand.New(rand.NewSource(seed)),
+		names: names, cum: cum,
+		minRows: minRows, maxRows: maxRows,
 	}
-	return c
 }
+
+// Next generates the next column of the stream.
+func (s *Stream) Next() *Column {
+	domain := s.names[sampleCumulative(s.r, s.cum)]
+	n := ri(s.r, s.minRows, s.maxRows)
+	col, err := GenerateColumn(s.r, domain, n)
+	if err != nil {
+		// Unreachable: names come from the domain table.
+		panic(err)
+	}
+	if s.p.Labeled {
+		col.Dirty = []int{}
+	}
+	if s.p.ErrorRate > 0 && s.r.Float64() < s.p.ErrorRate {
+		InjectError(s.r, col)
+	}
+	s.generated++
+	return col
+}
+
+// Generated returns how many columns the stream has produced.
+func (s *Stream) Generated() uint64 { return s.generated }
 
 // cumulativeWeights resolves profile weights against the domain table and
 // returns domain names with their cumulative weight prefix sums.

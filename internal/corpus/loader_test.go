@@ -1,0 +1,107 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSVStripsBOM(t *testing.T) {
+	in := "\xEF\xBB\xBFyear,name\n1999,alice\n2001,bob\n"
+	cols, err := ReadCSV(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 {
+		t.Fatalf("got %d columns", len(cols))
+	}
+	if cols[0].Name != "year" {
+		t.Fatalf("BOM leaked into header: %q", cols[0].Name)
+	}
+	if cols[0].Values[0] != "1999" {
+		t.Fatalf("values skewed: %v", cols[0].Values)
+	}
+}
+
+func TestReadCSVBOMWithoutHeader(t *testing.T) {
+	cols, err := ReadCSV(strings.NewReader("\xEF\xBB\xBF1,2\n3,4\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols[0].Values[0] != "1" {
+		t.Fatalf("BOM leaked into first value: %q", cols[0].Values[0])
+	}
+}
+
+func TestReadCSVPadsRaggedRows(t *testing.T) {
+	// Row 2 is short: without padding, column c's values would shift up and
+	// its per-row alignment (and value count) would silently skew.
+	in := "a,b,c\n1,x,p\n2,y\n3,z,q\n"
+	cols, err := ReadCSV(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 {
+		t.Fatalf("got %d columns", len(cols))
+	}
+	for i, col := range cols {
+		if len(col.Values) != 3 {
+			t.Fatalf("column %d has %d values, want 3 (row alignment lost)", i, len(col.Values))
+		}
+	}
+	if cols[2].Values[1] != "" || cols[2].Values[2] != "q" {
+		t.Fatalf("column c misaligned: %v", cols[2].Values)
+	}
+}
+
+func TestReadCSVDropsTrailingEmptyColumns(t *testing.T) {
+	// A trailing comma on every row mints a phantom empty last column.
+	in := "a,b,\n1,x,\n2,y,\n"
+	cols, err := ReadCSV(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 {
+		t.Fatalf("phantom trailing column survived: %d columns", len(cols))
+	}
+
+	// Without a header the phantom column is dropped too.
+	cols, err = ReadCSV(strings.NewReader("1,x,\n2,y,\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 {
+		t.Fatalf("no-header phantom column survived: %d columns", len(cols))
+	}
+
+	// A named trailing column with empty cells is real data and must stay.
+	cols, err = ReadCSV(strings.NewReader("a,b,notes\n1,x,\n2,y,\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 || cols[2].Name != "notes" {
+		t.Fatalf("named empty column dropped: %+v", cols)
+	}
+}
+
+func TestStreamMatchesGenerate(t *testing.T) {
+	p := WikiProfile()
+	const n = 200
+	want := Generate(p, n, 77)
+	s := NewStream(p, 77)
+	for i := 0; i < n; i++ {
+		got := s.Next()
+		w := want.Columns[i]
+		if got.Name != w.Name || got.Domain != w.Domain {
+			t.Fatalf("column %d: stream (%s,%s) != generate (%s,%s)", i, got.Name, got.Domain, w.Name, w.Domain)
+		}
+		if strings.Join(got.Values, "\x00") != strings.Join(w.Values, "\x00") {
+			t.Fatalf("column %d values diverge", i)
+		}
+		if len(got.Dirty) != len(w.Dirty) {
+			t.Fatalf("column %d labels diverge", i)
+		}
+	}
+	if s.Generated() != n {
+		t.Fatalf("Generated() = %d", s.Generated())
+	}
+}

@@ -1,0 +1,312 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/envelope"
+	"repro/internal/pattern"
+	"repro/internal/stats"
+)
+
+// Checkpoint shards reuse the model v2 integrity envelope (length header +
+// CRC64 trailer) under their own magic, so a truncated or bit-flipped shard
+// is rejected on resume instead of silently corrupting the build.
+var ckptMagic = []byte("AUTODETECT-CK/1\n")
+
+// maxCheckpointPayload caps the declared payload length a resume will
+// allocate for.
+const maxCheckpointPayload = 1 << 32
+
+// checkpoint is the durable state of a partially-built corpus pass: the
+// merged statistics shard over columns [0, columns), the distant-supervision
+// reservoir at the same boundary, and the fingerprint of (source, config)
+// the build is only valid for.
+type checkpoint struct {
+	fingerprint string
+	columns     uint64
+	values      uint64
+	rv          *reservoir
+	stats       []*stats.LanguageStats
+}
+
+// reservoir holds the column sample used for distant supervision. With
+// cap <= 0 every column is kept (exact legacy-Train equivalence); otherwise
+// Algorithm R with a per-index deterministic pseudo-random replacement, so
+// the sample at column boundary S depends only on (seed, columns [0,S)) —
+// never on worker scheduling, and resume continues it exactly.
+type reservoir struct {
+	cap  int
+	seed uint64
+	seen uint64
+	cols []*corpus.Column
+}
+
+func (rv *reservoir) add(c *corpus.Column) {
+	i := rv.seen
+	rv.seen++
+	if rv.cap <= 0 || len(rv.cols) < rv.cap {
+		rv.cols = append(rv.cols, c)
+		return
+	}
+	j := splitmix64(rv.seed^(i*0x9e3779b97f4a7c15)) % (i + 1)
+	if j < uint64(rv.cap) {
+		rv.cols[j] = c
+	}
+}
+
+// splitmix64 is the finalizer used for reservoir replacement decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// buildFingerprint ties a checkpoint to the source content and to every
+// configuration knob that shapes the counting stage or the reservoir.
+// Worker count and checkpoint cadence are deliberately excluded: a build
+// may be resumed with different parallelism and still converge to the
+// byte-identical model.
+func buildFingerprint(src ColumnSource, langs []pattern.Language, smoothing float64, sampleCap int, dsSeed int64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v1|langs=")
+	for _, l := range langs {
+		fmt.Fprintf(&sb, "%d,", l.ID)
+	}
+	fmt.Fprintf(&sb, "|smooth=%g|sample=%d|dsseed=%d|src=%s", smoothing, sampleCap, dsSeed, src.Fingerprint())
+	return sb.String()
+}
+
+func (c *checkpoint) marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	var tmp [8]byte
+	wu64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf.Write(tmp[:])
+	}
+	wstr := func(s string) {
+		wu64(uint64(len(s)))
+		buf.WriteString(s)
+	}
+	wstr(c.fingerprint)
+	wu64(c.columns)
+	wu64(c.values)
+	wu64(c.rv.seen)
+	wu64(uint64(len(c.rv.cols)))
+	for _, col := range c.rv.cols {
+		wu64(uint64(len(col.Values)))
+		for _, v := range col.Values {
+			wstr(v)
+		}
+	}
+	wu64(uint64(len(c.stats)))
+	for _, ls := range c.stats {
+		blob, err := ls.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: serializing shard statistics: %w", err)
+		}
+		wu64(uint64(len(blob)))
+		buf.Write(blob)
+	}
+	return buf.Bytes(), nil
+}
+
+func unmarshalCheckpoint(data []byte) (*checkpoint, error) {
+	r := bytes.NewReader(data)
+	var tmp [8]byte
+	ru64 := func() (uint64, error) {
+		if _, err := io.ReadFull(r, tmp[:]); err != nil {
+			return 0, errors.New("pipeline: truncated checkpoint")
+		}
+		return binary.LittleEndian.Uint64(tmp[:]), nil
+	}
+	rstr := func() (string, error) {
+		n, err := ru64()
+		if err != nil {
+			return "", err
+		}
+		if n > uint64(r.Len()) {
+			return "", errors.New("pipeline: corrupt checkpoint string length")
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return "", errors.New("pipeline: truncated checkpoint")
+		}
+		return string(b), nil
+	}
+	c := &checkpoint{rv: &reservoir{}}
+	var err error
+	if c.fingerprint, err = rstr(); err != nil {
+		return nil, err
+	}
+	if c.columns, err = ru64(); err != nil {
+		return nil, err
+	}
+	if c.values, err = ru64(); err != nil {
+		return nil, err
+	}
+	if c.rv.seen, err = ru64(); err != nil {
+		return nil, err
+	}
+	ncols, err := ru64()
+	if err != nil {
+		return nil, err
+	}
+	if ncols > c.rv.seen {
+		return nil, errors.New("pipeline: corrupt checkpoint reservoir")
+	}
+	c.rv.cols = make([]*corpus.Column, ncols)
+	for i := range c.rv.cols {
+		nv, err := ru64()
+		if err != nil {
+			return nil, err
+		}
+		if nv > uint64(len(data)) {
+			return nil, errors.New("pipeline: corrupt checkpoint column length")
+		}
+		vals := make([]string, nv)
+		for j := range vals {
+			if vals[j], err = rstr(); err != nil {
+				return nil, err
+			}
+		}
+		c.rv.cols[i] = &corpus.Column{Values: vals}
+	}
+	nstats, err := ru64()
+	if err != nil {
+		return nil, err
+	}
+	if nstats > 4096 {
+		return nil, errors.New("pipeline: implausible checkpoint language count")
+	}
+	c.stats = make([]*stats.LanguageStats, nstats)
+	for i := range c.stats {
+		bl, err := ru64()
+		if err != nil {
+			return nil, err
+		}
+		if bl > uint64(r.Len()) {
+			return nil, errors.New("pipeline: corrupt checkpoint statistics length")
+		}
+		blob := make([]byte, bl)
+		if _, err := io.ReadFull(r, blob); err != nil {
+			return nil, errors.New("pipeline: truncated checkpoint")
+		}
+		ls := &stats.LanguageStats{}
+		if err := ls.UnmarshalBinary(blob); err != nil {
+			return nil, fmt.Errorf("pipeline: checkpoint statistics %d: %w", i, err)
+		}
+		c.stats[i] = ls
+	}
+	if r.Len() != 0 {
+		return nil, errors.New("pipeline: trailing bytes in checkpoint")
+	}
+	return c, nil
+}
+
+// checkpointPath names the shard for a column boundary.
+func checkpointPath(dir string, columns uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%012d.ckpt", columns))
+}
+
+// writeCheckpoint atomically persists the shard (temp file + rename) and
+// prunes older shards so at most one checkpoint lives in dir.
+func writeCheckpoint(dir string, c *checkpoint) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	payload, err := c.marshal()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
+	if err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	if err := envelope.Write(tmp, ckptMagic, payload); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("pipeline: writing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	final := checkpointPath(dir, c.columns)
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	// Prune superseded shards.
+	for _, old := range listCheckpoints(dir) {
+		if old != final {
+			os.Remove(old)
+		}
+	}
+	return nil
+}
+
+// listCheckpoints returns shard paths under dir, oldest first.
+func listCheckpoints(dir string) []string {
+	matches, err := filepath.Glob(filepath.Join(dir, "checkpoint-*.ckpt"))
+	if err != nil {
+		return nil
+	}
+	sort.Strings(matches)
+	return matches
+}
+
+// loadLatestCheckpoint restores the newest valid shard in dir, verifying
+// integrity, fingerprint and language identity. Returns (nil, nil) when dir
+// holds no checkpoint. A shard for a different corpus or configuration is
+// an error, not a silent restart — losing hours of counting silently would
+// be worse than asking the operator to clear the directory.
+func loadLatestCheckpoint(dir, fingerprint string, langs []pattern.Language) (*checkpoint, error) {
+	shards := listCheckpoints(dir)
+	if len(shards) == 0 {
+		return nil, nil
+	}
+	path := shards[len(shards)-1]
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	defer f.Close()
+	payload, err := envelope.Read(f, ckptMagic, maxCheckpointPayload)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: checkpoint %s: %w", path, err)
+	}
+	c, err := unmarshalCheckpoint(payload)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: checkpoint %s: %w", path, err)
+	}
+	if c.fingerprint != fingerprint {
+		return nil, fmt.Errorf("pipeline: checkpoint %s was built over a different corpus or configuration; remove it (or point -checkpoint elsewhere) to start fresh", path)
+	}
+	if len(c.stats) != len(langs) {
+		return nil, fmt.Errorf("pipeline: checkpoint %s covers %d languages, expected %d", path, len(c.stats), len(langs))
+	}
+	for i, ls := range c.stats {
+		if ls.Language().ID != langs[i].ID {
+			return nil, fmt.Errorf("pipeline: checkpoint %s language %d mismatch", path, i)
+		}
+	}
+	return c, nil
+}
+
+// removeCheckpoints deletes every shard in dir; called after a successful
+// build consumes them.
+func removeCheckpoints(dir string) {
+	for _, p := range listCheckpoints(dir) {
+		os.Remove(p)
+	}
+}

@@ -1,0 +1,497 @@
+// Package pipeline implements the sharded, streaming corpus-statistics
+// build of Auto-Detect: the map-reduce-style aggregation the paper runs
+// over ~100M web-table columns (Section 3.4), scaled down to a single
+// process with N lock-free counting workers.
+//
+// A build streams columns from a ColumnSource (CSV/TSV directories,
+// generated corpora, or in-memory slices) through a fan-out of worker
+// goroutines. Each worker folds its share of columns into a private partial
+// accumulator — per-language pattern occurrence counts plus co-occurrence
+// dictionaries — so the hot loop takes no locks. Partial shards are merged
+// (stats.LanguageStats.Merge, sketch.CountMin.Merge) at checkpoint
+// barriers and at stream end, then canonicalized so the final statistics
+// are byte-for-byte reproducible regardless of worker count, scheduling,
+// or checkpoint/resume boundaries. Distant-supervision columns are drawn
+// by a deterministic reservoir on the single-threaded ingestion side, so
+// the downstream calibration sees the same training pairs whatever the
+// parallelism.
+//
+// Periodic checkpoints persist the merged shard, the reservoir, and the
+// stream position inside the model-v2 integrity envelope; an interrupted
+// build resumes from the last barrier and converges to the byte-identical
+// model an uninterrupted build would have produced.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/distsup"
+	"repro/internal/pattern"
+	"repro/internal/stats"
+)
+
+// Options parameterizes a pipeline build.
+type Options struct {
+	// Workers is the counting/calibration parallelism (default NumCPU).
+	// Workers=1 reproduces the legacy single-threaded Train exactly.
+	Workers int
+	// Train carries the algorithm configuration; zero fields are defaulted
+	// exactly like core.Train.
+	Train core.TrainConfig
+	// SampleColumns caps the reservoir of columns kept for distant
+	// supervision. 0 keeps every column (exact equivalence with the
+	// in-memory Train path, at the cost of holding the corpus's values);
+	// production builds over file-resident corpora should set a bound
+	// (200k columns is plenty for 50k training pairs).
+	SampleColumns int
+	// CheckpointDir enables periodic checkpointing into this directory,
+	// and resume-from-checkpoint when it already holds a valid shard.
+	// Empty disables both.
+	CheckpointDir string
+	// CheckpointEvery is the column interval between checkpoint barriers
+	// (default 100000).
+	CheckpointEvery int
+	// KeepCheckpoints leaves the final checkpoint shard on disk after a
+	// successful build instead of consuming it.
+	KeepCheckpoints bool
+	// Progress, when set, receives throughput snapshots every
+	// ProgressEvery (default 2s) during counting plus one per stage
+	// transition. Called from pipeline goroutines.
+	Progress func(Progress)
+	// ProgressEvery is the progress sampling period.
+	ProgressEvery time.Duration
+}
+
+// Result is a completed pipeline build.
+type Result struct {
+	// Detector is the trained, ready-to-serve model.
+	Detector *core.Detector
+	// Report summarizes training like core.Train's report.
+	Report *core.TrainReport
+	// Columns and Values count the corpus cells folded into the model,
+	// including checkpoint-restored ones.
+	Columns, Values uint64
+	// ResumedColumns is how many columns were restored from a checkpoint
+	// rather than re-counted (0 for a fresh build).
+	ResumedColumns uint64
+	// CheckpointsWritten counts shards persisted during this run.
+	CheckpointsWritten int
+	// Stages holds per-stage wall-clock timings in execution order.
+	Stages []StageTiming
+	// Elapsed is the total build time of this run.
+	Elapsed time.Duration
+}
+
+const (
+	defaultCheckpointEvery = 100000
+	columnBatchSize        = 32
+)
+
+// Run executes a full streaming build: count → merge → distant supervision
+// → calibrate → select, and returns the trained detector.
+//
+// On context cancellation the build stops at a consistent column boundary,
+// writes a final checkpoint when checkpointing is enabled, and returns the
+// context error: re-running with the same source and options resumes and
+// produces the byte-identical model of an uninterrupted build.
+func Run(ctx context.Context, src ColumnSource, opts Options) (*Result, error) {
+	startTime := time.Now()
+	if src == nil {
+		return nil, errors.New("pipeline: nil column source")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tc := opts.Train
+	if tc.TargetPrecision == 0 {
+		tc.TargetPrecision = 0.95
+	}
+	if tc.MemoryBudget == 0 {
+		tc.MemoryBudget = 64 << 20
+	}
+	if tc.Smoothing == 0 {
+		tc.Smoothing = stats.DefaultSmoothing
+	}
+	langs := tc.Languages
+	if langs == nil {
+		langs = pattern.All()
+	}
+	ds := tc.DistSup
+	if ds.PositivePairs == 0 && ds.NegativePairs == 0 {
+		ds = distsup.DefaultConfig()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	ckptEvery := opts.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = defaultCheckpointEvery
+	}
+	progressEvery := opts.ProgressEvery
+	if progressEvery <= 0 {
+		progressEvery = 2 * time.Second
+	}
+
+	b := &build{
+		src:       src,
+		langs:     langs,
+		tc:        tc,
+		ds:        ds,
+		workers:   workers,
+		ckptDir:   opts.CheckpointDir,
+		ckptEvery: ckptEvery,
+		clock:     newStageClock(),
+		startTime: startTime,
+		progress:  opts.Progress,
+	}
+	b.fingerprint = buildFingerprint(src, langs, tc.Smoothing, opts.SampleColumns, ds.Seed)
+	b.base = make([]*stats.LanguageStats, len(langs))
+	for i, l := range langs {
+		b.base[i] = stats.NewLanguageStats(l, tc.Smoothing)
+	}
+	b.rv = &reservoir{cap: opts.SampleColumns, seed: uint64(ds.Seed)}
+
+	// Resume from the latest valid shard, if any.
+	if b.ckptDir != "" {
+		ck, err := loadLatestCheckpoint(b.ckptDir, b.fingerprint, langs)
+		if err != nil {
+			return nil, err
+		}
+		if ck != nil {
+			b.base = ck.stats
+			b.rv = ck.rv
+			b.rv.cap = opts.SampleColumns
+			b.rv.seed = uint64(ds.Seed)
+			b.columns.Store(ck.columns)
+			b.values.Store(ck.values)
+			b.resumed = ck.columns
+		}
+	}
+
+	// Throughput reporter, active for the lifetime of the build.
+	if b.progress != nil {
+		tick := time.NewTicker(progressEvery)
+		done := make(chan struct{})
+		defer func() { tick.Stop(); close(done) }()
+		go func() {
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					b.report()
+				}
+			}
+		}()
+	}
+
+	if err := b.count(ctx); err != nil {
+		return nil, err
+	}
+	if b.columns.Load() == 0 {
+		return nil, errors.New("pipeline: source yielded no columns")
+	}
+
+	// Canonicalize the merged shard so downstream results do not depend on
+	// merge interleaving.
+	t0 := time.Now()
+	for _, ls := range b.base {
+		if err := ls.Canonicalize(); err != nil {
+			return nil, err
+		}
+	}
+	b.clock.add(StageMerge, time.Since(t0))
+
+	b.setStage(StageDistsup)
+	t0 = time.Now()
+	sample := &corpus.Corpus{Name: "pipeline-sample", Columns: b.rv.cols}
+	data, err := distsup.Generate(sample, ds)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: generating training data: %w", err)
+	}
+	b.clock.add(StageDistsup, time.Since(t0))
+
+	b.setStage(StageCalibrate)
+	t0 = time.Now()
+	cands, err := b.calibrate(ctx, data)
+	if err != nil {
+		return nil, err
+	}
+	b.clock.add(StageCalibrate, time.Since(t0))
+
+	b.setStage(StageSelect)
+	t0 = time.Now()
+	det, report, err := core.BuildDetector(cands, tc.MemoryBudget, tc.Aggregation, tc.SketchRatio)
+	if err != nil {
+		return nil, err
+	}
+	b.clock.add(StageSelect, time.Since(t0))
+	report.CandidateLanguages = len(langs)
+	report.TrainingExamples = len(data.Examples)
+	report.CompatColumns = data.CompatColumns
+
+	if b.ckptDir != "" && !opts.KeepCheckpoints {
+		removeCheckpoints(b.ckptDir)
+	}
+	return &Result{
+		Detector:           det,
+		Report:             report,
+		Columns:            b.columns.Load(),
+		Values:             b.values.Load(),
+		ResumedColumns:     b.resumed,
+		CheckpointsWritten: b.checkpointsWritten(),
+		Stages:             b.clock.timings(),
+		Elapsed:            time.Since(startTime),
+	}, nil
+}
+
+// build carries the state of one Run.
+type build struct {
+	src         ColumnSource
+	langs       []pattern.Language
+	tc          core.TrainConfig
+	ds          distsup.Config
+	workers     int
+	ckptDir     string
+	ckptEvery   int
+	fingerprint string
+
+	base []*stats.LanguageStats
+	rv   *reservoir
+
+	columns, values atomic.Uint64
+	resumed         uint64
+	ckptsWritten    int
+
+	clock     *stageClock
+	startTime time.Time
+
+	progress func(Progress)
+	// progMu guards stage and ckptsWritten and serializes progress
+	// delivery, so Options.Progress never runs concurrently with itself.
+	progMu sync.Mutex
+	stage  Stage
+}
+
+func (b *build) setStage(s Stage) {
+	b.progMu.Lock()
+	b.stage = s
+	b.progMu.Unlock()
+	b.report()
+}
+
+func (b *build) noteCheckpoint() {
+	b.progMu.Lock()
+	b.ckptsWritten++
+	b.progMu.Unlock()
+}
+
+func (b *build) checkpointsWritten() int {
+	b.progMu.Lock()
+	defer b.progMu.Unlock()
+	return b.ckptsWritten
+}
+
+// report delivers one progress snapshot.
+func (b *build) report() {
+	if b.progress == nil {
+		return
+	}
+	elapsed := time.Since(b.startTime)
+	cols, vals := b.columns.Load(), b.values.Load()
+	var cps, vps float64
+	if secs := elapsed.Seconds(); secs > 0 {
+		cps = float64(cols-b.resumed) / secs
+		// Value throughput rates only columns counted this run; restored
+		// values are excluded the same way.
+		vps = cps * avgOr(vals, cols)
+	}
+	b.progMu.Lock()
+	defer b.progMu.Unlock()
+	b.progress(Progress{
+		Stage: b.stage, Columns: cols, Values: vals,
+		ColumnsPerSec: cps, ValuesPerSec: vps,
+		Workers: b.workers, Checkpoints: b.ckptsWritten, Elapsed: elapsed,
+	})
+}
+
+func avgOr(values, columns uint64) float64 {
+	if columns == 0 {
+		return 0
+	}
+	return float64(values) / float64(columns)
+}
+
+// count runs the streaming fold: skip checkpoint-covered columns, then
+// repeat rounds of (fan out to workers → barrier → merge → checkpoint)
+// until the source drains or the context is cancelled.
+func (b *build) count(ctx context.Context) error {
+	b.setStage(StageCount)
+
+	// Re-stream past the checkpoint boundary. The source re-delivers from
+	// the start; covered columns are discarded without folding (their
+	// counts and reservoir effects are already in the restored shard).
+	for skipped := uint64(0); skipped < b.resumed; skipped++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("pipeline: interrupted while skipping to checkpoint: %w", err)
+		}
+		if _, err := b.src.Next(); err == io.EOF {
+			return fmt.Errorf("pipeline: checkpoint covers %d columns but source drained after %d; source changed since checkpoint", b.resumed, skipped)
+		} else if err != nil {
+			return fmt.Errorf("pipeline: %w", err)
+		}
+	}
+
+	drained := false
+	for !drained {
+		roundStart := time.Now()
+		batches := make(chan []*corpus.Column, b.workers*2)
+		partials := make([]*stats.Builder, b.workers)
+		var wg sync.WaitGroup
+		for w := 0; w < b.workers; w++ {
+			partials[w] = stats.NewBuilder(b.langs, b.tc.Smoothing)
+			wg.Add(1)
+			go func(pb *stats.Builder) {
+				defer wg.Done()
+				for batch := range batches {
+					for _, col := range batch {
+						pb.AddColumn(col.Values)
+					}
+				}
+			}(partials[w])
+		}
+
+		var (
+			roundCols int
+			batch     []*corpus.Column
+			srcErr    error
+			cancelled bool
+		)
+		for b.ckptDir == "" || roundCols < b.ckptEvery {
+			if ctx.Err() != nil {
+				cancelled = true
+				break
+			}
+			col, err := b.src.Next()
+			if err == io.EOF {
+				drained = true
+				break
+			}
+			if err != nil {
+				srcErr = err
+				break
+			}
+			b.rv.add(col)
+			batch = append(batch, col)
+			if len(batch) == columnBatchSize {
+				batches <- batch
+				batch = nil
+			}
+			roundCols++
+			b.columns.Add(1)
+			b.values.Add(uint64(len(col.Values)))
+		}
+		if len(batch) > 0 {
+			batches <- batch
+		}
+		close(batches)
+		wg.Wait()
+		b.clock.add(StageCount, time.Since(roundStart))
+
+		// Barrier: fold the round's private shards into the base.
+		mergeStart := time.Now()
+		for _, pb := range partials {
+			for i, ls := range pb.Stats() {
+				if err := b.base[i].Merge(ls); err != nil {
+					return fmt.Errorf("pipeline: merging shard: %w", err)
+				}
+			}
+		}
+		b.clock.add(StageMerge, time.Since(mergeStart))
+
+		if srcErr != nil {
+			return fmt.Errorf("pipeline: reading source: %w", srcErr)
+		}
+
+		// Persist the barrier state: at every full round, and on
+		// cancellation so the interrupted work is not lost.
+		if b.ckptDir != "" && (!drained || cancelled) {
+			if err := writeCheckpoint(b.ckptDir, &checkpoint{
+				fingerprint: b.fingerprint,
+				columns:     b.columns.Load(),
+				values:      b.values.Load(),
+				rv:          b.rv,
+				stats:       b.base,
+			}); err != nil {
+				return err
+			}
+			b.noteCheckpoint()
+		}
+		if cancelled {
+			return fmt.Errorf("pipeline: interrupted after %d columns (checkpointed: %v): %w",
+				b.columns.Load(), b.ckptDir != "", ctx.Err())
+		}
+	}
+	return nil
+}
+
+// calibrate derives per-language thresholds in parallel; results land at
+// their language's index, so the outcome is order-deterministic.
+func (b *build) calibrate(ctx context.Context, data *distsup.Data) ([]*core.Calibration, error) {
+	cands := make([]*core.Calibration, len(b.base))
+	idx := make(chan int)
+	errs := make(chan error, b.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < b.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				cal, err := core.Calibrate(b.base[i], data, b.tc.TargetPrecision)
+				if err != nil {
+					errs <- fmt.Errorf("pipeline: calibrating %v: %w", b.base[i].Language(), err)
+					return
+				}
+				cands[i] = cal
+			}
+		}()
+	}
+feed:
+	for i := range b.base {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		case err := <-errs:
+			close(idx)
+			wg.Wait()
+			return nil, err
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: interrupted during calibration: %w", err)
+	}
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	for _, c := range cands {
+		if c == nil {
+			return nil, errors.New("pipeline: calibration incomplete")
+		}
+	}
+	return cands, nil
+}

@@ -1,0 +1,350 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/distsup"
+	"repro/internal/pattern"
+)
+
+var (
+	benchOut  = flag.String("pipeline.benchout", "", "write the benchmark smoke result (BENCH_pipeline.json) to this path")
+	benchCols = flag.Int("pipeline.benchcols", 4000, "corpus size, in columns, for the benchmark smoke")
+)
+
+// testTrainConfig keeps the candidate space small enough for fast tests:
+// every 5th language of the 144, modest training-pair counts.
+func testTrainConfig() core.TrainConfig {
+	cfg := core.DefaultTrainConfig()
+	all := pattern.All()
+	for i := 0; i < len(all); i += 5 {
+		cfg.Languages = append(cfg.Languages, all[i])
+	}
+	ds := distsup.DefaultConfig()
+	ds.PositivePairs, ds.NegativePairs = 1500, 1500
+	cfg.DistSup = ds
+	return cfg
+}
+
+var probePairs = [][2]string{
+	{"2011-01-01", "2011/01/01"},
+	{"2011-01-01", "2012-09-30"},
+	{"1,000", "100"},
+	{"3-2", "-"},
+}
+
+// TestRunMatchesLegacyTrain: the streaming pipeline must make the same
+// detection decisions as the in-memory core.Train path — same selected
+// languages, same thresholds, same pair verdicts — and worker count must
+// not change the serialized model by a single byte.
+func TestRunMatchesLegacyTrain(t *testing.T) {
+	c := corpus.Generate(corpus.WebProfile(), 1200, 23)
+	cfg := testTrainConfig()
+
+	legacy, legacyRep, err := core.Train(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(workers int) *Result {
+		t.Helper()
+		res, err := Run(context.Background(), NewSliceSource(c.Columns), Options{
+			Workers: workers,
+			Train:   cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r4 := run(1), run(4)
+
+	if r1.Columns != uint64(len(c.Columns)) {
+		t.Errorf("pipeline counted %d columns, corpus has %d", r1.Columns, len(c.Columns))
+	}
+	if r1.Values != uint64(c.NumValues()) {
+		t.Errorf("pipeline counted %d values, corpus has %d", r1.Values, c.NumValues())
+	}
+	if len(r1.Report.Selected) != len(legacyRep.Selected) {
+		t.Fatalf("selected %v vs legacy %v", r1.Report.Selected, legacyRep.Selected)
+	}
+	for i := range legacyRep.Selected {
+		if r1.Report.Selected[i] != legacyRep.Selected[i] {
+			t.Fatalf("language %d differs: %v vs %v", i, r1.Report.Selected[i], legacyRep.Selected[i])
+		}
+	}
+	if r1.Report.Coverage != legacyRep.Coverage {
+		t.Errorf("coverage %d vs legacy %d", r1.Report.Coverage, legacyRep.Coverage)
+	}
+	if r1.Report.TrainingExamples != legacyRep.TrainingExamples {
+		t.Errorf("training examples %d vs legacy %d", r1.Report.TrainingExamples, legacyRep.TrainingExamples)
+	}
+	for i, cal := range r1.Detector.Languages() {
+		if want := legacy.Languages()[i].Theta; cal.Theta != want {
+			t.Errorf("theta differs for %v: %v vs %v", cal.Stats.Language(), cal.Theta, want)
+		}
+	}
+	for _, p := range probePairs {
+		x, y := r1.Detector.ScorePair(p[0], p[1]), legacy.ScorePair(p[0], p[1])
+		if x.Flagged != y.Flagged || x.Confidence != y.Confidence {
+			t.Errorf("pair %v: pipeline %+v vs legacy %+v", p, x, y)
+		}
+	}
+
+	var b1, b4 bytes.Buffer
+	if err := r1.Detector.Save(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r4.Detector.Save(&b4); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b4.Bytes()) {
+		t.Error("workers=1 and workers=4 produced different model bytes")
+	}
+}
+
+// cancelAfter wraps a source and cancels a context once n columns have
+// been delivered, simulating an interrupt mid-count.
+type cancelAfter struct {
+	src    ColumnSource
+	n      int
+	cancel context.CancelFunc
+	count  int
+}
+
+func (c *cancelAfter) Next() (*corpus.Column, error) {
+	if c.count == c.n {
+		c.cancel()
+	}
+	c.count++
+	return c.src.Next()
+}
+
+func (c *cancelAfter) Fingerprint() string { return c.src.Fingerprint() }
+
+func TestRunCancellation(t *testing.T) {
+	c := corpus.Generate(corpus.WebProfile(), 400, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := Run(ctx, &cancelAfter{src: NewSliceSource(c.Columns), n: 120, cancel: cancel}, Options{
+		Workers: 2,
+		Train:   testTrainConfig(),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCheckpointResume is the crash/recovery contract: kill a build
+// mid-count, resume it from the checkpoint, and the final model must be
+// byte-identical to an uninterrupted build.
+func TestRunCheckpointResume(t *testing.T) {
+	c := corpus.Generate(corpus.WebProfile(), 600, 31)
+	cfg := testTrainConfig()
+	ckdir := t.TempDir()
+	opts := Options{
+		Workers:         2,
+		Train:           cfg,
+		SampleColumns:   150, // exercise reservoir persistence, not just stats
+		CheckpointDir:   ckdir,
+		CheckpointEvery: 130,
+	}
+
+	// Interrupted build.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := Run(ctx, &cancelAfter{src: NewSliceSource(c.Columns), n: 300, cancel: cancel}, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	shards := listCheckpoints(ckdir)
+	if len(shards) != 1 {
+		t.Fatalf("after interrupt: %d checkpoint files, want exactly 1 (pruning)", len(shards))
+	}
+
+	// Resume.
+	resumed, err := Run(context.Background(), NewSliceSource(c.Columns), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.ResumedColumns == 0 {
+		t.Error("resume did not restore any columns from the checkpoint")
+	}
+	if resumed.Columns != uint64(len(c.Columns)) {
+		t.Errorf("resumed build covered %d columns, want %d", resumed.Columns, len(c.Columns))
+	}
+	if left := listCheckpoints(ckdir); len(left) != 0 {
+		t.Errorf("successful build left %d checkpoint files behind", len(left))
+	}
+
+	// Uninterrupted reference with identical options (fresh checkpoint dir).
+	ref := opts
+	ref.CheckpointDir = t.TempDir()
+	uninterrupted, err := Run(context.Background(), NewSliceSource(c.Columns), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got, want bytes.Buffer
+	if err := resumed.Detector.Save(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := uninterrupted.Detector.Save(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("resumed model differs from uninterrupted model")
+	}
+}
+
+// TestRunRejectsForeignCheckpoint: resuming over a different corpus or
+// configuration must fail loudly, not silently restart.
+func TestRunRejectsForeignCheckpoint(t *testing.T) {
+	c := corpus.Generate(corpus.WebProfile(), 300, 8)
+	cfg := testTrainConfig()
+	ckdir := t.TempDir()
+	opts := Options{Train: cfg, CheckpointDir: ckdir, CheckpointEvery: 80}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := Run(ctx, &cancelAfter{src: NewSliceSource(c.Columns), n: 150, cancel: cancel}, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	other := corpus.Generate(corpus.WebProfile(), 280, 9)
+	if _, err := Run(context.Background(), NewSliceSource(other.Columns), opts); err == nil {
+		t.Fatal("resume over a different corpus should fail")
+	}
+}
+
+func TestRunProgressAndStages(t *testing.T) {
+	c := corpus.Generate(corpus.WebProfile(), 300, 3)
+	var reports []Progress
+	res, err := Run(context.Background(), NewSliceSource(c.Columns), Options{
+		Workers:       2,
+		Train:         testTrainConfig(),
+		Progress:      func(p Progress) { reports = append(reports, p) },
+		ProgressEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Stage]bool{}
+	for _, p := range reports {
+		seen[p.Stage] = true
+		if p.Workers != 2 {
+			t.Fatalf("progress reported %d workers, want 2", p.Workers)
+		}
+	}
+	for _, s := range []Stage{StageCount, StageDistsup, StageCalibrate, StageSelect} {
+		if !seen[s] {
+			t.Errorf("no progress report for stage %s", s)
+		}
+	}
+	timed := map[Stage]bool{}
+	for _, st := range res.Stages {
+		timed[st.Stage] = true
+	}
+	for _, s := range []Stage{StageCount, StageMerge, StageDistsup, StageCalibrate, StageSelect} {
+		if !timed[s] {
+			t.Errorf("no timing recorded for stage %s", s)
+		}
+	}
+	if res.Elapsed <= 0 {
+		t.Error("zero elapsed time")
+	}
+	var buf bytes.Buffer
+	WriteProgress(&buf, reports[len(reports)-1])
+	if buf.Len() == 0 {
+		t.Error("WriteProgress produced no output")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), nil, Options{}); err == nil {
+		t.Error("nil source should error")
+	}
+	if _, err := Run(context.Background(), NewSliceSource(nil), Options{Train: testTrainConfig()}); err == nil {
+		t.Error("empty source should error")
+	}
+}
+
+// benchResult is one row of BENCH_pipeline.json.
+type benchResult struct {
+	Workers       int     `json:"workers"`
+	Columns       uint64  `json:"columns"`
+	Values        uint64  `json:"values"`
+	CountSeconds  float64 `json:"count_seconds"`
+	ColumnsPerSec float64 `json:"columns_per_sec"`
+	ValuesPerSec  float64 `json:"values_per_sec"`
+	TotalSeconds  float64 `json:"total_seconds"`
+}
+
+// TestBenchmarkSmoke measures counting throughput at 1, 4 and NumCPU
+// workers and writes BENCH_pipeline.json. It only runs when
+// -pipeline.benchout is set (CI does; plain `go test` skips it).
+func TestBenchmarkSmoke(t *testing.T) {
+	if *benchOut == "" {
+		t.Skip("benchmark smoke disabled; set -pipeline.benchout to enable")
+	}
+	cfg := testTrainConfig()
+	workerSet := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		workerSet = append(workerSet, n)
+	}
+	var rows []benchResult
+	for _, w := range workerSet {
+		src := NewGeneratedSource(corpus.WebProfile(), *benchCols, 77)
+		res, err := Run(context.Background(), src, Options{Workers: w, Train: cfg, SampleColumns: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var countSec float64
+		for _, st := range res.Stages {
+			if st.Stage == StageCount {
+				countSec = st.Duration.Seconds()
+			}
+		}
+		row := benchResult{
+			Workers:      w,
+			Columns:      res.Columns,
+			Values:       res.Values,
+			CountSeconds: countSec,
+			TotalSeconds: res.Elapsed.Seconds(),
+		}
+		if countSec > 0 {
+			row.ColumnsPerSec = float64(res.Columns) / countSec
+			row.ValuesPerSec = float64(res.Values) / countSec
+		}
+		rows = append(rows, row)
+		t.Logf("workers=%d: %.0f columns/sec (count stage %.2fs, total %.2fs)",
+			w, row.ColumnsPerSec, countSec, row.TotalSeconds)
+	}
+	blob, err := json.MarshalIndent(map[string]any{
+		"benchmark": "pipeline_count_throughput",
+		"unit":      "columns/sec",
+		"num_cpu":   runtime.NumCPU(),
+		"results":   rows,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(*benchOut), 0o755); err != nil && filepath.Dir(*benchOut) != "." {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchOut, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Stage names the phases of a pipeline build, in execution order.
+type Stage string
+
+// Pipeline stages. Count dominates wall-clock on large corpora; Merge
+// covers shard merging at checkpoint barriers and at stream end.
+const (
+	StageCount     Stage = "count"
+	StageMerge     Stage = "merge"
+	StageDistsup   Stage = "distsup"
+	StageCalibrate Stage = "calibrate"
+	StageSelect    Stage = "select"
+)
+
+// Progress is a point-in-time snapshot of a running build, delivered to
+// Options.Progress.
+type Progress struct {
+	// Stage is the phase currently executing.
+	Stage Stage
+	// Columns and Values count corpus columns/cells folded so far,
+	// including any restored from a checkpoint.
+	Columns, Values uint64
+	// ColumnsPerSec and ValuesPerSec are throughput over the build so far
+	// (columns processed this run / elapsed; checkpoint-restored columns are
+	// excluded from the rate).
+	ColumnsPerSec, ValuesPerSec float64
+	// Workers is the counting-stage parallelism.
+	Workers int
+	// Checkpoints counts checkpoint files written this run.
+	Checkpoints int
+	// Elapsed is time since Run started.
+	Elapsed time.Duration
+}
+
+// StageTiming records how long one stage took.
+type StageTiming struct {
+	Stage    Stage
+	Duration time.Duration
+}
+
+// stageClock accumulates per-stage wall-clock durations in execution order.
+type stageClock struct {
+	order []Stage
+	total map[Stage]time.Duration
+}
+
+func newStageClock() *stageClock {
+	return &stageClock{total: make(map[Stage]time.Duration)}
+}
+
+func (sc *stageClock) add(s Stage, d time.Duration) {
+	if _, seen := sc.total[s]; !seen {
+		sc.order = append(sc.order, s)
+	}
+	sc.total[s] += d
+}
+
+func (sc *stageClock) timings() []StageTiming {
+	out := make([]StageTiming, 0, len(sc.order))
+	for _, s := range sc.order {
+		out = append(out, StageTiming{Stage: s, Duration: sc.total[s]})
+	}
+	return out
+}
+
+// WriteProgress renders a one-line human-readable progress report; CLI
+// callers pass it (wrapped) as Options.Progress.
+func WriteProgress(w io.Writer, p Progress) {
+	switch p.Stage {
+	case StageCount:
+		fmt.Fprintf(w, "[%7.1fs] %-9s %d columns (%d values) | %.0f cols/s %.0f vals/s | %d workers | %d checkpoints\n",
+			p.Elapsed.Seconds(), p.Stage, p.Columns, p.Values, p.ColumnsPerSec, p.ValuesPerSec, p.Workers, p.Checkpoints)
+	default:
+		fmt.Fprintf(w, "[%7.1fs] %-9s %d columns (%d values)\n",
+			p.Elapsed.Seconds(), p.Stage, p.Columns, p.Values)
+	}
+}

@@ -1,0 +1,194 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+)
+
+// A ColumnSource streams corpus columns one at a time, so the pipeline can
+// train on collections far larger than memory. Sources are single-use: one
+// Run consumes one source. Next returns io.EOF when the stream ends.
+//
+// Fingerprint identifies the source's content/configuration; it is stored
+// in checkpoints so a resumed build refuses to continue over a different
+// corpus than the one it started on.
+type ColumnSource interface {
+	Next() (*corpus.Column, error)
+	Fingerprint() string
+}
+
+// SliceSource streams an in-memory column slice. It exists so the legacy
+// Train path (whole corpus in memory) runs through the same pipeline.
+type SliceSource struct {
+	cols []*corpus.Column
+	pos  int
+}
+
+// NewSliceSource returns a source over the given columns.
+func NewSliceSource(cols []*corpus.Column) *SliceSource {
+	return &SliceSource{cols: cols}
+}
+
+// Next implements ColumnSource.
+func (s *SliceSource) Next() (*corpus.Column, error) {
+	if s.pos >= len(s.cols) {
+		return nil, io.EOF
+	}
+	c := s.cols[s.pos]
+	s.pos++
+	return c, nil
+}
+
+// Fingerprint implements ColumnSource: a cheap shape hash (column count,
+// value count, FNV over sampled values).
+func (s *SliceSource) Fingerprint() string {
+	h := uint64(1469598103934665603) // FNV-64 offset basis
+	mix := func(str string) {
+		for i := 0; i < len(str); i++ {
+			h ^= uint64(str[i])
+			h *= 1099511628211
+		}
+	}
+	values := 0
+	for i, col := range s.cols {
+		values += len(col.Values)
+		if i%97 == 0 && len(col.Values) > 0 {
+			mix(col.Values[0])
+		}
+	}
+	return fmt.Sprintf("slice:%d:%d:%016x", len(s.cols), values, h)
+}
+
+// GeneratedSource streams synthetic profile columns without materializing
+// them, standing in for the paper's 100M-column web corpora.
+type GeneratedSource struct {
+	profile corpus.Profile
+	n       int
+	seed    int64
+	stream  *corpus.Stream
+}
+
+// NewGeneratedSource streams n columns of the profile from the seed.
+func NewGeneratedSource(p corpus.Profile, n int, seed int64) *GeneratedSource {
+	return &GeneratedSource{profile: p, n: n, seed: seed, stream: corpus.NewStream(p, seed)}
+}
+
+// Next implements ColumnSource.
+func (g *GeneratedSource) Next() (*corpus.Column, error) {
+	if g.stream.Generated() >= uint64(g.n) {
+		return nil, io.EOF
+	}
+	return g.stream.Next(), nil
+}
+
+// Fingerprint implements ColumnSource.
+func (g *GeneratedSource) Fingerprint() string {
+	// Weights in sorted order so the fingerprint is map-order independent.
+	keys := make([]string, 0, len(g.profile.Weights))
+	for k := range g.profile.Weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "gen:%s:%d:%d:%d-%d:%g:%v:", g.profile.Name, g.n, g.seed,
+		g.profile.MinRows, g.profile.MaxRows, g.profile.ErrorRate, g.profile.Labeled)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%g,", k, g.profile.Weights[k])
+	}
+	return sb.String()
+}
+
+// DirSource streams the columns of every CSV/TSV file under a directory
+// (sorted by path for determinism), one file at a time — only a single
+// table is ever resident. Hidden files and unknown extensions are skipped.
+type DirSource struct {
+	dir       string
+	hasHeader bool
+	files     []string
+	sizes     []int64
+	fileIdx   int
+	pending   []*corpus.Column
+}
+
+// NewDirSource scans dir (recursively) for .csv and .tsv files.
+func NewDirSource(dir string, hasHeader bool) (*DirSource, error) {
+	s := &DirSource{dir: dir, hasHeader: hasHeader}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || strings.HasPrefix(info.Name(), ".") {
+			return nil
+		}
+		switch strings.ToLower(filepath.Ext(path)) {
+		case ".csv", ".tsv":
+			s.files = append(s.files, path)
+			s.sizes = append(s.sizes, info.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: scanning %s: %w", dir, err)
+	}
+	if len(s.files) == 0 {
+		return nil, fmt.Errorf("pipeline: no .csv or .tsv files under %s", dir)
+	}
+	// Walk already yields lexical order; keep the invariant explicit.
+	sort.Strings(s.files)
+	return s, nil
+}
+
+// Files returns how many table files the source covers.
+func (s *DirSource) Files() int { return len(s.files) }
+
+// Next implements ColumnSource.
+func (s *DirSource) Next() (*corpus.Column, error) {
+	for len(s.pending) == 0 {
+		if s.fileIdx >= len(s.files) {
+			return nil, io.EOF
+		}
+		path := s.files[s.fileIdx]
+		s.fileIdx++
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		comma := ','
+		if strings.EqualFold(filepath.Ext(path), ".tsv") {
+			comma = '\t'
+		}
+		cols, err := corpus.ReadTable(f, comma, s.hasHeader)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %s: %w", path, err)
+		}
+		s.pending = cols
+	}
+	c := s.pending[0]
+	s.pending = s.pending[1:]
+	return c, nil
+}
+
+// Fingerprint implements ColumnSource: the relative file list with sizes.
+// File contents are not hashed (that would cost a full extra read); a
+// same-size in-place edit between checkpoint and resume goes undetected,
+// which is documented in the resume semantics.
+func (s *DirSource) Fingerprint() string {
+	var sb strings.Builder
+	sb.WriteString("dir:")
+	for i, f := range s.files {
+		rel, err := filepath.Rel(s.dir, f)
+		if err != nil {
+			rel = f
+		}
+		fmt.Fprintf(&sb, "%s=%d;", rel, s.sizes[i])
+	}
+	fmt.Fprintf(&sb, "header=%v", s.hasHeader)
+	return sb.String()
+}

@@ -147,6 +147,50 @@ func (cm *CountMin) EstimateCorrected(key uint64) uint64 {
 	return upper
 }
 
+// Compatible reports whether two sketches can be merged: same width, depth,
+// update mode and hash seeds. Sketches constructed with the same dimensions
+// always share seeds (the seed schedule is deterministic).
+func (cm *CountMin) Compatible(o *CountMin) bool {
+	if cm.width != o.width || cm.depth != o.depth || cm.conservative != o.conservative {
+		return false
+	}
+	for i, s := range cm.seeds {
+		if o.seeds[i] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge folds another sketch into the receiver by element-wise counter
+// addition (saturating at the uint32 counter cap). For plain (non-
+// conservative) sketches this is exact: estimates from the merged sketch
+// equal those of a single sketch that saw both update streams, so sharded
+// counting followed by Merge is equivalent to sequential counting.
+// Conservative sketches merge to a valid over-approximation (estimates
+// still never under-count) but lose the conservative-update tightness of a
+// single-stream build. The other sketch is not modified.
+func (cm *CountMin) Merge(o *CountMin) error {
+	if o == nil {
+		return errors.New("sketch: cannot merge nil sketch")
+	}
+	if !cm.Compatible(o) {
+		return errors.New("sketch: merge requires identical dimensions, mode and seeds")
+	}
+	for i := range cm.rows {
+		dst, src := cm.rows[i], o.rows[i]
+		for j := range dst {
+			s := uint64(dst[j]) + uint64(src[j])
+			if s > math.MaxUint32 {
+				s = math.MaxUint32
+			}
+			dst[j] = uint32(s)
+		}
+	}
+	cm.total += o.total
+	return nil
+}
+
 // Total returns the sum of all added values (N in the ε-bound).
 func (cm *CountMin) Total() uint64 { return cm.total }
 

@@ -1,0 +1,127 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMergeExactEquivalence is the sharding property test: splitting an
+// update stream across K sketches and merging must estimate exactly like one
+// sketch that saw the whole stream, for plain (non-conservative) updates.
+func TestMergeExactEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		width := 64 + r.Intn(256)
+		depth := 1 + r.Intn(5)
+		shards := 2 + r.Intn(6)
+
+		single, err := New(width, depth, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := make([]*CountMin, shards)
+		for i := range parts {
+			if parts[i], err = New(width, depth, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Power-law-ish key stream, randomly partitioned across shards.
+		nUpdates := 500 + r.Intn(2000)
+		keys := make(map[uint64]struct{})
+		for u := 0; u < nUpdates; u++ {
+			key := uint64(r.Intn(200)) // heavy collisions on purpose
+			n := uint32(1 + r.Intn(9))
+			keys[key] = struct{}{}
+			single.Add(key, n)
+			parts[r.Intn(shards)].Add(key, n)
+		}
+
+		merged := parts[0]
+		for _, p := range parts[1:] {
+			if err := merged.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.Total() != single.Total() {
+			t.Fatalf("trial %d: total %d != %d", trial, merged.Total(), single.Total())
+		}
+		for key := range keys {
+			if got, want := merged.Estimate(key), single.Estimate(key); got != want {
+				t.Fatalf("trial %d: key %d: merged estimate %d != sequential %d", trial, key, got, want)
+			}
+			if got, want := merged.EstimateCorrected(key), single.EstimateCorrected(key); got != want {
+				t.Fatalf("trial %d: key %d: merged corrected %d != sequential %d", trial, key, got, want)
+			}
+		}
+		// Keys never inserted must estimate identically too.
+		for probe := uint64(1 << 40); probe < 1<<40+50; probe++ {
+			if got, want := merged.Estimate(probe), single.Estimate(probe); got != want {
+				t.Fatalf("trial %d: absent key %d: merged %d != sequential %d", trial, probe, got, want)
+			}
+		}
+	}
+}
+
+// TestMergeConservativeNeverUnderCounts: conservative sketches lose
+// exactness under merge but must keep the one-sided guarantee.
+func TestMergeConservativeNeverUnderCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a, _ := New(128, 3, true)
+	b, _ := New(128, 3, true)
+	truth := map[uint64]uint64{}
+	for u := 0; u < 3000; u++ {
+		key := uint64(r.Intn(300))
+		truth[key]++
+		if r.Intn(2) == 0 {
+			a.Add(key, 1)
+		} else {
+			b.Add(key, 1)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range truth {
+		if got := a.Estimate(key); got < want {
+			t.Fatalf("key %d: merged conservative estimate %d under-counts truth %d", key, got, want)
+		}
+	}
+}
+
+func TestMergeRejectsIncompatible(t *testing.T) {
+	base, _ := New(64, 3, false)
+	for _, bad := range []*CountMin{
+		mustNew(t, 32, 3, false), // width
+		mustNew(t, 64, 2, false), // depth
+		mustNew(t, 64, 3, true),  // mode
+		nil,
+	} {
+		if err := base.Merge(bad); err == nil {
+			t.Fatalf("expected merge rejection for %+v", bad)
+		}
+	}
+}
+
+func TestMergeSaturates(t *testing.T) {
+	a, _ := New(4, 1, false)
+	b, _ := New(4, 1, false)
+	a.Add(1, math.MaxUint32)
+	b.Add(1, math.MaxUint32)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Estimate(1); got != math.MaxUint32 {
+		t.Fatalf("expected saturation at MaxUint32, got %d", got)
+	}
+}
+
+func mustNew(t *testing.T, w, d int, cons bool) *CountMin {
+	t.Helper()
+	cm, err := New(w, d, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}

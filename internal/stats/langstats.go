@@ -82,6 +82,105 @@ func (ls *LanguageStats) internRuns(rs pattern.Runs) uint32 {
 	return id
 }
 
+// internPattern is internRuns for an already-rendered pattern string; used
+// when merging shards, whose patterns arrive rendered.
+func (ls *LanguageStats) internPattern(p string) uint32 {
+	if id, ok := ls.byString[p]; ok {
+		return id
+	}
+	id := uint32(len(ls.patterns))
+	ls.ids[pattern.Hash64(p)] = id
+	ls.byString[p] = id
+	ls.patterns = append(ls.patterns, p)
+	ls.occ = append(ls.occ, 0)
+	return id
+}
+
+// satAdd32 adds saturating at the uint32 cap, so merging many shards of a
+// web-scale corpus can never wrap a counter.
+func satAdd32(a, b uint32) uint32 {
+	if s := uint64(a) + uint64(b); s <= math.MaxUint32 {
+		return uint32(s)
+	}
+	return math.MaxUint32
+}
+
+// Merge folds another shard's statistics for the same language into the
+// receiver: column counts, occurrence counts and pair co-occurrence counts
+// are added, with the other shard's pattern IDs remapped onto the
+// receiver's interning. Counts after merging equal those of a single-shard
+// build over the concatenated column streams, whatever the sharding.
+// Both stores must be exact (merge before sketch compression); the other
+// shard is not modified.
+func (ls *LanguageStats) Merge(other *LanguageStats) error {
+	if other == nil {
+		return errors.New("stats: cannot merge nil statistics")
+	}
+	if ls.lang.ID != other.lang.ID {
+		return errors.New("stats: cannot merge statistics of different languages")
+	}
+	if _, ok := ls.pairs.(*MapPairStore); !ok {
+		return errors.New("stats: merge target pair store is not exact")
+	}
+	otherExact, ok := other.pairs.(*MapPairStore)
+	if !ok {
+		return errors.New("stats: merge source pair store is not exact")
+	}
+	ls.n += other.n
+	idMap := make([]uint32, len(other.patterns))
+	for i, p := range other.patterns {
+		id := ls.internPattern(p)
+		ls.occ[id] = satAdd32(ls.occ[id], other.occ[i])
+		idMap[i] = id
+	}
+	for k, v := range otherExact.m {
+		a := idMap[uint32(k>>32)]
+		b := idMap[uint32(k&0xffffffff)]
+		ls.pairs.Add(a, b, v)
+	}
+	return nil
+}
+
+// Canonicalize renumbers pattern IDs into lexicographic pattern order and
+// rewrites the occurrence table and pair store accordingly. After merging
+// shards — whose interleaving-dependent interning order is otherwise
+// nondeterministic — canonicalizing makes the statistics, and everything
+// serialized from them, byte-for-byte reproducible for a given corpus
+// regardless of shard count, worker scheduling, or checkpoint/resume
+// boundaries. Requires an exact pair store.
+func (ls *LanguageStats) Canonicalize() error {
+	exact, ok := ls.pairs.(*MapPairStore)
+	if !ok {
+		return errors.New("stats: canonicalize requires an exact pair store")
+	}
+	order := make([]uint32, len(ls.patterns))
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return ls.patterns[order[i]] < ls.patterns[order[j]] })
+	perm := make([]uint32, len(order)) // old ID → new ID
+	patterns := make([]string, len(order))
+	occ := make([]uint32, len(order))
+	for newID, oldID := range order {
+		perm[oldID] = uint32(newID)
+		patterns[newID] = ls.patterns[oldID]
+		occ[newID] = ls.occ[oldID]
+	}
+	ls.patterns, ls.occ = patterns, occ
+	ls.ids = make(map[uint64]uint32, len(patterns))
+	ls.byString = make(map[string]uint32, len(patterns))
+	for id, p := range patterns {
+		ls.ids[pattern.Hash64(p)] = uint32(id)
+		ls.byString[p] = uint32(id)
+	}
+	remapped := NewMapPairStore()
+	for k, v := range exact.m {
+		remapped.Add(perm[uint32(k>>32)], perm[uint32(k&0xffffffff)], v)
+	}
+	ls.pairs = remapped
+	return nil
+}
+
 // AddColumnRuns records one corpus column given the category-run encodings
 // of its distinct values. Identical patterns within the column are counted
 // once (occurrence and co-occurrence are at column granularity).

@@ -69,6 +69,15 @@ func (s *MapPairStore) Entries() int { return len(s.m) }
 // compressing an exact store into a sketch.
 func (s *MapPairStore) Keys() map[uint64]uint32 { return s.m }
 
+// Merge adds every entry of another exact store into the receiver. Both
+// stores must be keyed by the same pattern-ID space (LanguageStats.Merge
+// remaps IDs before delegating here when they are not).
+func (s *MapPairStore) Merge(other *MapPairStore) {
+	for k, v := range other.m {
+		s.m[k] += v
+	}
+}
+
 // MarshalBinary serializes the store with keys in sorted order for
 // determinism.
 func (s *MapPairStore) MarshalBinary() ([]byte, error) {
@@ -166,6 +175,13 @@ func (s *SketchPairStore) Bytes() int { return s.cm.Bytes() }
 
 // Entries implements PairStore.
 func (s *SketchPairStore) Entries() int { return -1 }
+
+// Merge folds another sketch-backed store into the receiver by element-wise
+// sketch merge — exact for these (non-conservative) sketches, provided both
+// stores were built over the same pattern-ID space.
+func (s *SketchPairStore) Merge(other *SketchPairStore) error {
+	return s.cm.Merge(other.cm)
+}
 
 // MarshalBinary serializes the underlying sketch.
 func (s *SketchPairStore) MarshalBinary() ([]byte, error) { return s.cm.MarshalBinary() }
