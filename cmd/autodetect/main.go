@@ -35,11 +35,16 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/distsup"
 	"repro/internal/eval"
+	"repro/internal/observe"
 	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/repair"
 	"repro/internal/report"
 )
+
+// logger carries training diagnostics on stderr; detection output (the
+// data the user piped us for) stays on stdout.
+var logger = observe.NewLogger(os.Stderr, observe.LogOptions{Component: "autodetect"})
 
 func main() {
 	if len(os.Args) < 2 {
@@ -65,7 +70,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "autodetect:", err)
+		logger.Error("command failed", "subcommand", os.Args[1], "error", err)
 		os.Exit(1)
 	}
 }
@@ -110,7 +115,7 @@ func cmdTrain(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("streaming %d table files under %s...\n", ds.Files(), *dir)
+		logger.Info("streaming table files", "files", ds.Files(), "dir", *dir)
 		src = ds
 	case *corpusPath != "":
 		f, err := os.Open(*corpusPath)
@@ -133,7 +138,7 @@ func cmdTrain(args []string) error {
 		default:
 			return fmt.Errorf("unknown profile %q", *profile)
 		}
-		fmt.Printf("streaming %d synthetic %s columns...\n", *columns, p.Name)
+		logger.Info("streaming synthetic columns", "columns", *columns, "profile", p.Name)
 		src = pipeline.NewGeneratedSource(p, *columns, *seed)
 	}
 
@@ -151,7 +156,7 @@ func cmdTrain(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("training with %d workers (%d candidate languages)...\n", *workers, 144)
+	logger.Info("training", "workers", *workers, "candidate_languages", 144)
 	res, err := pipeline.Run(ctx, src, pipeline.Options{
 		Workers:         *workers,
 		Train:           cfg,
@@ -163,21 +168,20 @@ func cmdTrain(args []string) error {
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) && *checkpoint != "" {
-			fmt.Fprintf(os.Stderr, "interrupted; progress saved under %s — rerun the same command to resume\n", *checkpoint)
+			logger.Warn("interrupted; rerun the same command to resume", "checkpoint", *checkpoint)
 		}
 		return err
 	}
 	rep := res.Report
-	fmt.Printf("trained on %d columns (%d values) in %s", res.Columns, res.Values, res.Elapsed.Round(10*time.Millisecond))
-	if res.ResumedColumns > 0 {
-		fmt.Printf(" (%d columns restored from checkpoint)", res.ResumedColumns)
-	}
-	fmt.Println()
+	logger.Info("trained", "columns", res.Columns, "values", res.Values,
+		"elapsed", res.Elapsed.Round(10*time.Millisecond).String(),
+		"resumed_columns", res.ResumedColumns)
 	for _, st := range res.Stages {
-		fmt.Printf("  %-9s %s\n", st.Stage, st.Duration.Round(time.Millisecond))
+		logger.Info("stage timing", "stage", string(st.Stage),
+			"elapsed", st.Duration.Round(time.Millisecond).String())
 	}
-	fmt.Printf("selected %d languages, %d bytes of statistics, coverage %d/%d negatives\n",
-		len(rep.Selected), rep.SelectedBytes, rep.Coverage, rep.TrainingExamples/2)
+	logger.Info("selected", "languages", len(rep.Selected), "model_bytes", rep.SelectedBytes,
+		"coverage", rep.Coverage, "negatives", rep.TrainingExamples/2)
 	for _, l := range rep.Selected {
 		fmt.Printf("  %v\n", l)
 	}
@@ -189,7 +193,7 @@ func cmdTrain(args []string) error {
 	if err := res.Detector.Save(f); err != nil {
 		return err
 	}
-	fmt.Printf("model written to %s\n", *out)
+	logger.Info("model written", "out", *out, "model_bytes", rep.SelectedBytes)
 	return nil
 }
 

@@ -2,7 +2,8 @@
 // "spell-checker for data" deployment mode — with a production-hardened
 // lifecycle: graceful shutdown on SIGINT/SIGTERM, hot model reload on
 // SIGHUP or POST /v1/admin/reload, liveness/readiness probes, and
-// configurable load-shedding limits.
+// configurable load-shedding limits. Prometheus metrics are exposed on
+// GET /metrics and all logs are structured (logfmt or JSON).
 //
 //	autodetectd -model model.bin -addr :8080
 //	autodetectd -train-dir tables/ -addr :8080       # train on a CSV/TSV directory first
@@ -13,6 +14,7 @@
 //	GET  /v1/health
 //	GET  /v1/livez
 //	GET  /v1/readyz
+//	GET  /metrics
 //	POST /v1/check-column  {"values": ["2011-01-01", "2011/01/01", ...]}
 //	POST /v1/check-table   {"columns": {"date": [...], "amount": [...]}}
 //	POST /v1/check-pair    {"a": "72 kg", "b": "154 lbs"}
@@ -24,7 +26,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/distsup"
+	"repro/internal/observe"
 	"repro/internal/pipeline"
 	"repro/internal/semantic"
 	"repro/internal/service"
@@ -48,6 +51,15 @@ func loadModelFile(path string) (*core.Detector, error) {
 	}
 	defer f.Close()
 	return core.Load(f)
+}
+
+// parseLevel maps the -log-level flag onto slog levels.
+func parseLevel(s string) (slog.Level, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", s)
+	}
+	return l, nil
 }
 
 func main() {
@@ -64,7 +76,33 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
 	maxBodyBytes := flag.Int64("max-body-bytes", 8<<20, "request body cap in bytes (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "connection-draining budget on shutdown")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof (off by default: profiles leak memory contents)")
+	logFormat := flag.String("log-format", "text", "log output format: text (logfmt) or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
+
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autodetectd:", err)
+		os.Exit(2)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		fmt.Fprintf(os.Stderr, "autodetectd: bad -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := observe.NewLogger(os.Stderr, observe.LogOptions{
+		Component: "autodetectd",
+		JSON:      *logFormat == "json",
+		Level:     level,
+	})
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	// One registry spans the process: serving metrics, pipeline builds and
+	// hot-path counters all land on the same /metrics page.
+	reg := observe.NewRegistry()
 
 	trainConfig := func() core.TrainConfig {
 		cfg := core.DefaultTrainConfig()
@@ -82,17 +120,21 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		log.Printf("pipeline build: %d table files under %s, %d workers...", src.Files(), *trainDir, *workers)
+		logger.Info("pipeline build starting",
+			"files", src.Files(), "train_dir", *trainDir, "workers", *workers)
 		res, err := pipeline.Run(context.Background(), src, pipeline.Options{
 			Workers:       *workers,
 			Train:         trainConfig(),
 			SampleColumns: *sample,
+			Metrics:       reg,
 		})
 		if err != nil {
 			return nil, err
 		}
-		log.Printf("pipeline build done: %d columns (%d values) in %s, %d languages selected",
-			res.Columns, res.Values, res.Elapsed.Round(time.Millisecond), len(res.Report.Selected))
+		logger.Info("pipeline build done",
+			"columns", res.Columns, "values", res.Values,
+			"elapsed", res.Elapsed.Round(time.Millisecond).String(),
+			"languages", len(res.Report.Selected))
 		return res.Detector, nil
 	}
 
@@ -104,32 +146,34 @@ func main() {
 		det, err = loadModelFile(*modelPath)
 		if err != nil {
 			if errors.Is(err, core.ErrCorruptModel) {
-				log.Fatalf("refusing to serve %s: %v", *modelPath, err)
+				fatal("refusing to serve corrupt model", "model", *modelPath, "error", err)
 			}
-			log.Fatal(err)
+			fatal("model load failed", "model", *modelPath, "error", err)
 		}
-		log.Printf("loaded model from %s (%d languages, %d bytes)",
-			*modelPath, len(det.Languages()), det.Bytes())
+		logger.Info("model loaded", "model", *modelPath,
+			"languages", len(det.Languages()), "model_bytes", det.Bytes())
 	case *trainDir != "":
 		var err error
 		det, err = buildFromDir()
 		if err != nil {
-			log.Fatal(err)
+			fatal("pipeline build failed", "train_dir", *trainDir, "error", err)
 		}
 	case *train:
-		log.Printf("training on %d synthetic columns with %d workers...", *columns, *workers)
+		logger.Info("training on synthetic corpus", "columns", *columns, "workers", *workers)
 		c := corpus.Generate(corpus.WebProfile(), *columns, *seed)
 		res, err := pipeline.Run(context.Background(), pipeline.NewSliceSource(c.Columns), pipeline.Options{
 			Workers: *workers,
 			Train:   trainConfig(),
+			Metrics: reg,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal("training failed", "error", err)
 		}
 		det = res.Detector
-		log.Printf("trained: %d languages, %d bytes", len(res.Report.Selected), res.Report.SelectedBytes)
+		logger.Info("training done",
+			"languages", len(res.Report.Selected), "model_bytes", res.Report.SelectedBytes)
 		if sem, err = semantic.Train(c, semantic.DefaultConfig()); err != nil {
-			log.Printf("semantic model unavailable: %v", err)
+			logger.Warn("semantic model unavailable", "error", err)
 			sem = nil
 		}
 	default:
@@ -141,7 +185,9 @@ func main() {
 	svc.MaxInFlight = *maxInflight
 	svc.RequestTimeout = *requestTimeout
 	svc.MaxBodyBytes = *maxBodyBytes
-	svc.Logf = log.Printf
+	svc.Logger = logger
+	svc.Metrics = reg
+	svc.EnablePprof = *enablePprof
 	switch {
 	case *modelPath != "":
 		// Hot reload re-reads the model file; the semantic model (only
@@ -173,20 +219,20 @@ func main() {
 	go func() {
 		for range hup {
 			if svc.Reload == nil {
-				log.Printf("SIGHUP ignored: no -model file or -train-dir to reload from")
+				logger.Warn("SIGHUP ignored: no -model file or -train-dir to reload from")
 				continue
 			}
 			d, sm, err := svc.Reload()
 			if err != nil {
-				log.Printf("SIGHUP reload failed, keeping current model: %v", err)
+				logger.Error("SIGHUP reload failed, keeping current model", "error", err)
 				continue
 			}
 			if err := svc.Swap(d, sm); err != nil {
-				log.Printf("SIGHUP swap failed: %v", err)
+				logger.Error("SIGHUP swap failed", "error", err)
 				continue
 			}
-			log.Printf("SIGHUP reload succeeded: %d languages, %d bytes",
-				len(d.Languages()), d.Bytes())
+			logger.Info("SIGHUP reload succeeded",
+				"languages", len(d.Languages()), "model_bytes", d.Bytes())
 		}
 	}()
 
@@ -195,21 +241,22 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("listening on %s (max-inflight=%d request-timeout=%s max-body-bytes=%d)",
-		*addr, *maxInflight, *requestTimeout, *maxBodyBytes)
+	logger.Info("listening", "addr", *addr,
+		"max_inflight", *maxInflight, "request_timeout", requestTimeout.String(),
+		"max_body_bytes", *maxBodyBytes, "pprof", *enablePprof)
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		fatal("server failed", "error", err)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills immediately
-		log.Printf("shutdown signal received, draining connections (up to %s)", *drainTimeout)
+		logger.Info("shutdown signal received, draining connections", "drain_timeout", drainTimeout.String())
 		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shCtx); err != nil {
-			log.Printf("drain incomplete, forcing close: %v", err)
+			logger.Error("drain incomplete, forcing close", "error", err)
 			_ = srv.Close()
 		}
-		log.Printf("shutdown complete")
+		logger.Info("shutdown complete")
 	}
 }

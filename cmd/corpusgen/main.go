@@ -21,7 +21,12 @@ import (
 	"path/filepath"
 
 	"repro/internal/corpus"
+	"repro/internal/observe"
 )
+
+// logger emits generation summaries and failures on stderr, structured
+// with the same keys as the rest of the stack.
+var logger = observe.NewLogger(os.Stderr, observe.LogOptions{Component: "corpusgen"})
 
 func main() {
 	profile := flag.String("profile", "web", "profile: web|spreadsheet|wiki|enterprise|csvsuite")
@@ -147,10 +152,10 @@ func writeSharded(next func() *corpus.Column, n int, dir string, colsPerFile int
 		if err := lf.Close(); err != nil {
 			fail(err)
 		}
-		fmt.Printf("ground truth written to %s\n", labelsPath)
+		logger.Info("ground truth written", "labels", labelsPath)
 	}
-	fmt.Printf("wrote %d columns (%d cells, %d dirty columns) to %d shard files under %s\n",
-		written, values, dirtyCols, shards, dir)
+	logger.Info("corpus written", "columns", written, "values", values,
+		"dirty_columns", dirtyCols, "shards", shards, "dir", dir)
 }
 
 // writeSingle materializes the corpus into one CSV, the original mode.
@@ -169,8 +174,8 @@ func writeSingle(c *corpus.Corpus, out, labelsPath string) {
 	if err := f.Close(); err != nil {
 		fail(err)
 	}
-	fmt.Printf("wrote %d columns (%d cells, %d dirty columns) to %s\n",
-		c.NumColumns(), c.NumValues(), c.DirtyColumns(), out)
+	logger.Info("corpus written", "columns", c.NumColumns(), "values", c.NumValues(),
+		"dirty_columns", c.DirtyColumns(), "out", out)
 
 	if labelsPath != "" {
 		lf, err := os.Create(labelsPath)
@@ -189,11 +194,11 @@ func writeSingle(c *corpus.Corpus, out, labelsPath string) {
 		if err := lf.Close(); err != nil {
 			fail(err)
 		}
-		fmt.Printf("ground truth written to %s\n", labelsPath)
+		logger.Info("ground truth written", "labels", labelsPath)
 	}
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "corpusgen:", err)
+	logger.Error("generation failed", "error", err)
 	os.Exit(1)
 }

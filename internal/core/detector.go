@@ -122,6 +122,8 @@ func (d *Detector) Bytes() int {
 
 // ScorePair scores a pair of raw values.
 func (d *Detector) ScorePair(u, v string) PairScore {
+	hotPairs.Add(uintptr(len(u)), 1)
+	hotLangPairs.Add(uintptr(len(v)), uint64(len(d.cals)))
 	ur, vr := pattern.Encode(u), pattern.Encode(v)
 	return d.scoreRuns(ur, vr)
 }
@@ -218,6 +220,7 @@ func (d *Detector) aggregate(ps *PairScore) {
 // confidence while majority values conflicting only with the error score
 // near zero. Findings are sorted by descending confidence.
 func (d *Detector) DetectColumn(values []string) []Finding {
+	hotValues.Add(uintptr(len(values)), uint64(len(values)))
 	type dv struct {
 		value string
 		runs  pattern.Runs
@@ -245,6 +248,11 @@ func (d *Detector) DetectColumn(values []string) []Finding {
 	}
 
 	n := len(distinct)
+	// One publish per column for the whole pair loop below, so the
+	// instrumentation cost is independent of n².
+	pairs := uint64(n) * uint64(n-1) / 2
+	hotPairs.Add(uintptr(n), pairs)
+	hotLangPairs.Add(uintptr(n), pairs*uint64(len(d.cals)))
 	confSum := make([]float64, n)   // Σ over conflicting partners: count·conf
 	weightSum := make([]float64, n) // Σ over all partners: count
 	bestConf := make([]float64, n)

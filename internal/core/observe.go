@@ -1,0 +1,37 @@
+package core
+
+import "repro/internal/observe"
+
+// Detection hot-path counters. They are package-level striped atomics so
+// the inner scoring loops pay at most a handful of uncontended atomic
+// adds per column, not per pair: DetectColumn accumulates locally and
+// publishes once per column, ScorePair publishes once per call. The
+// service layer exposes them to /metrics via observe.CounterFunc.
+var (
+	hotValues    observe.HotCounter // cells submitted to DetectColumn
+	hotPairs     observe.HotCounter // distinct value pairs scored
+	hotLangPairs observe.HotCounter // pair evaluations × ensemble size
+)
+
+// HotPathStats is a snapshot of the detection hot-path counters since
+// process start. Monotonic, not linearizable across fields.
+type HotPathStats struct {
+	// Values counts column cells submitted to DetectColumn.
+	Values uint64
+	// Pairs counts distinct value pairs scored (column pairs and
+	// ScorePair calls).
+	Pairs uint64
+	// LanguagePairs counts per-language pair evaluations: every scored
+	// pair is evaluated once per ensemble language, so this is the true
+	// unit of NPMI scoring work.
+	LanguagePairs uint64
+}
+
+// HotPath returns the current detection hot-path counters.
+func HotPath() HotPathStats {
+	return HotPathStats{
+		Values:        hotValues.Load(),
+		Pairs:         hotPairs.Load(),
+		LanguagePairs: hotLangPairs.Load(),
+	}
+}

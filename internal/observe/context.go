@@ -1,0 +1,40 @@
+package observe
+
+import "context"
+
+type ctxKey int
+
+const (
+	requestIDKey ctxKey = iota
+	registryKey
+	spanPathKey
+)
+
+// ContextWithRequestID returns a context carrying the request ID that the
+// correlating slog handler (see NewLogger) attaches to every record
+// logged through the ctx-aware slog methods.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the request ID stored by ContextWithRequestID, or
+// "" when the context carries none.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// ContextWithRegistry returns a context directing Span timings into reg
+// instead of the process Default registry.
+func ContextWithRegistry(ctx context.Context, reg *Registry) context.Context {
+	return context.WithValue(ctx, registryKey, reg)
+}
+
+// RegistryFrom returns the registry bound by ContextWithRegistry, falling
+// back to Default.
+func RegistryFrom(ctx context.Context) *Registry {
+	if reg, ok := ctx.Value(registryKey).(*Registry); ok {
+		return reg
+	}
+	return defaultRegistry
+}

@@ -1,0 +1,46 @@
+package observe
+
+import "sync/atomic"
+
+// hotStripes is the number of counter cells a HotCounter spreads its
+// increments over. Must be a power of two.
+const hotStripes = 16
+
+// hotCell pads each counter to its own cache line so stripes on different
+// cores do not false-share.
+type hotCell struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// HotCounter is a cache-line-striped monotonic counter for instrumenting
+// inner loops (pair scoring, sketch probes) where a single shared atomic
+// would serialize cores on one cache line. Callers pick a stripe with any
+// cheap per-call value — a hash key, a loop length — and increments on
+// different stripes proceed without contention. Reads sum the stripes and
+// are monotonic but not linearizable, which is exactly what a metrics
+// scrape needs.
+//
+// The zero value is ready to use, so packages can declare counters as
+// package-level vars with no init cost and expose them to a Registry via
+// CounterFunc.
+type HotCounter struct {
+	cells [hotStripes]hotCell
+}
+
+// Add increments the counter by n on the stripe selected by key.
+func (c *HotCounter) Add(key uintptr, n uint64) {
+	c.cells[key&(hotStripes-1)].n.Add(n)
+}
+
+// Inc increments the counter by 1 on the stripe selected by key.
+func (c *HotCounter) Inc(key uintptr) { c.Add(key, 1) }
+
+// Load returns the current total across all stripes.
+func (c *HotCounter) Load() uint64 {
+	var total uint64
+	for i := range c.cells {
+		total += c.cells[i].n.Load()
+	}
+	return total
+}

@@ -1,0 +1,36 @@
+package observe
+
+import (
+	"context"
+	"time"
+)
+
+// SpanMetric is the histogram family Span records into, labeled by the
+// span's slash-joined path.
+const SpanMetric = "autodetect_span_seconds"
+
+// Span starts timing a named stage and returns a context for nested spans
+// plus an end function. Ending the span records its wall-clock duration
+// into the SpanMetric histogram of the context's registry (see
+// ContextWithRegistry; Default otherwise), labeled with the span path:
+// nested spans join their names with '/', so a column check inside a
+// table request records as "check_table/check_column".
+//
+// The fast path costs two time.Now calls and one histogram lookup — cheap
+// enough for per-request and per-stage use, but not for per-pair inner
+// loops; those use HotCounter.
+//
+// End functions are idempotent-hostile by design: call each exactly once.
+func Span(ctx context.Context, name string) (context.Context, func()) {
+	path := name
+	if parent, ok := ctx.Value(spanPathKey).(string); ok && parent != "" {
+		path = parent + "/" + name
+	}
+	reg := RegistryFrom(ctx)
+	start := time.Now()
+	ctx = context.WithValue(ctx, spanPathKey, path)
+	return ctx, func() {
+		reg.HistogramVec(SpanMetric, "Duration of instrumented stages by span path.",
+			DefBuckets, "span").With(path).Observe(time.Since(start).Seconds())
+	}
+}

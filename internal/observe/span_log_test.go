@@ -1,0 +1,76 @@
+package observe
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestSpanNestingAndRegistryBinding(t *testing.T) {
+	reg := NewRegistry()
+	ctx := ContextWithRegistry(context.Background(), reg)
+
+	ctx1, endOuter := Span(ctx, "check_table")
+	_, endInner := Span(ctx1, "check_column")
+	endInner()
+	endOuter()
+
+	vec := reg.HistogramVec(SpanMetric, "Duration of instrumented stages by span path.", DefBuckets, "span")
+	if got := vec.With("check_table").Count(); got != 1 {
+		t.Errorf("outer span count = %d, want 1", got)
+	}
+	if got := vec.With("check_table/check_column").Count(); got != 1 {
+		t.Errorf("nested span count = %d, want 1", got)
+	}
+}
+
+func TestSpanFallsBackToDefaultRegistry(t *testing.T) {
+	_, end := Span(context.Background(), "fallback_span")
+	end()
+	var b strings.Builder
+	if err := Default().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `autodetect_span_seconds_count{span="fallback_span"} 1`) {
+		t.Errorf("default registry missing fallback span:\n%s", b.String())
+	}
+}
+
+func TestLoggerRequestIDCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LogOptions{Component: "testd"})
+	ctx := ContextWithRequestID(context.Background(), "abc123")
+	l.InfoContext(ctx, "served", "route", "/v1/check-column")
+
+	line := buf.String()
+	for _, want := range []string{"request_id=abc123", "component=testd", "route=/v1/check-column", "served"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line missing %q: %s", want, line)
+		}
+	}
+
+	// Without a request ID in context, the attr is absent.
+	buf.Reset()
+	l.Info("plain")
+	if strings.Contains(buf.String(), "request_id") {
+		t.Errorf("request_id attr should be absent: %s", buf.String())
+	}
+}
+
+func TestLoggerJSONAndLevel(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LogOptions{Component: "j", JSON: true, Level: slog.LevelWarn})
+	l.Info("dropped")
+	if buf.Len() != 0 {
+		t.Errorf("info below level should be dropped: %s", buf.String())
+	}
+	l.Warn("kept", "workers", 4)
+	out := buf.String()
+	for _, want := range []string{`"component":"j"`, `"workers":4`, `"kept"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON log missing %q: %s", want, out)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package pipeline
+
+import (
+	"time"
+
+	"repro/internal/observe"
+)
+
+// pipelineMetrics holds the build's metric handles on the registry passed
+// through Options.Metrics. All families are registered idempotently, so
+// repeated builds (the daemon retrains on every SIGHUP) accumulate into
+// the same series.
+type pipelineMetrics struct {
+	builds      *observe.Counter    // autodetect_pipeline_builds_total
+	stageSecs   *observe.CounterVec // autodetect_pipeline_stage_seconds_total{stage}
+	columns     *observe.Gauge      // autodetect_pipeline_columns
+	values      *observe.Gauge      // autodetect_pipeline_values
+	workers     *observe.Gauge      // autodetect_pipeline_workers
+	busySecs    *observe.Counter    // autodetect_pipeline_worker_busy_seconds_total
+	checkpoints *observe.Counter    // autodetect_pipeline_checkpoints_total
+}
+
+func newPipelineMetrics(reg *observe.Registry) *pipelineMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &pipelineMetrics{
+		builds: reg.Counter("autodetect_pipeline_builds_total",
+			"Completed pipeline builds since start."),
+		stageSecs: reg.CounterVec("autodetect_pipeline_stage_seconds_total",
+			"Cumulative wall-clock seconds per pipeline stage.", "stage"),
+		columns: reg.Gauge("autodetect_pipeline_columns",
+			"Corpus columns folded into the current build, including checkpoint-restored ones."),
+		values: reg.Gauge("autodetect_pipeline_values",
+			"Corpus cells folded into the current build."),
+		workers: reg.Gauge("autodetect_pipeline_workers",
+			"Counting/calibration worker parallelism of the current build."),
+		busySecs: reg.Counter("autodetect_pipeline_worker_busy_seconds_total",
+			"Seconds counting workers spent folding columns (busy time; compare against stage seconds × workers for utilization)."),
+		checkpoints: reg.Counter("autodetect_pipeline_checkpoints_total",
+			"Checkpoint shards persisted."),
+	}
+}
+
+// stage records d seconds of stage s; nil-safe.
+func (m *pipelineMetrics) stage(s Stage, d time.Duration) {
+	if m != nil {
+		m.stageSecs.With(string(s)).Add(d.Seconds())
+	}
+}
+
+// progress reflects the live column/value totals; nil-safe.
+func (m *pipelineMetrics) progress(columns, values uint64) {
+	if m != nil {
+		m.columns.Set(float64(columns))
+		m.values.Set(float64(values))
+	}
+}
+
+// busy accumulates worker fold time; nil-safe.
+func (m *pipelineMetrics) busy(d time.Duration) {
+	if m != nil {
+		m.busySecs.Add(d.Seconds())
+	}
+}
+
+// setWorkers records the build parallelism; nil-safe.
+func (m *pipelineMetrics) setWorkers(n int) {
+	if m != nil {
+		m.workers.Set(float64(n))
+	}
+}
+
+// checkpoint counts one persisted shard; nil-safe.
+func (m *pipelineMetrics) checkpoint() {
+	if m != nil {
+		m.checkpoints.Inc()
+	}
+}
+
+// buildDone counts one completed build; nil-safe.
+func (m *pipelineMetrics) buildDone() {
+	if m != nil {
+		m.builds.Inc()
+	}
+}

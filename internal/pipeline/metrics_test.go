@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/observe"
+)
+
+// TestRunExportsMetrics runs a small build against a registry and checks
+// that every advertised family is populated: stage seconds, column/value
+// totals, worker gauge, busy seconds and the build counter.
+func TestRunExportsMetrics(t *testing.T) {
+	reg := observe.NewRegistry()
+	c := corpus.Generate(corpus.WebProfile(), 400, 7)
+	res, err := Run(context.Background(), NewSliceSource(c.Columns), Options{
+		Workers: 2,
+		Train:   testTrainConfig(),
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"autodetect_pipeline_builds_total 1",
+		"autodetect_pipeline_workers 2",
+		`autodetect_pipeline_stage_seconds_total{stage="count"}`,
+		`autodetect_pipeline_stage_seconds_total{stage="merge"}`,
+		`autodetect_pipeline_stage_seconds_total{stage="calibrate"}`,
+		`autodetect_pipeline_stage_seconds_total{stage="select"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	if got := reg.Gauge("autodetect_pipeline_columns", "").Value(); got != float64(res.Columns) {
+		t.Errorf("columns gauge = %v, want %d", got, res.Columns)
+	}
+	if got := reg.Gauge("autodetect_pipeline_values", "").Value(); got != float64(res.Values) {
+		t.Errorf("values gauge = %v, want %d", got, res.Values)
+	}
+	if got := reg.Counter("autodetect_pipeline_worker_busy_seconds_total", "").Value(); got <= 0 {
+		t.Errorf("worker busy seconds = %v, want > 0", got)
+	}
+}
+
+// TestRunWithoutMetricsRegistry pins the nil-registry path: no metrics
+// option, no panic, identical result surface.
+func TestRunWithoutMetricsRegistry(t *testing.T) {
+	c := corpus.Generate(corpus.WebProfile(), 400, 7)
+	res, err := Run(context.Background(), NewSliceSource(c.Columns), Options{
+		Workers: 1,
+		Train:   testTrainConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Columns != 400 {
+		t.Errorf("columns = %d, want 400", res.Columns)
+	}
+}
+
+// TestCheckpointMetric counts persisted shards through the registry.
+func TestCheckpointMetric(t *testing.T) {
+	reg := observe.NewRegistry()
+	c := corpus.Generate(corpus.WebProfile(), 300, 7)
+	_, err := Run(context.Background(), NewSliceSource(c.Columns), Options{
+		Workers:         1,
+		Train:           testTrainConfig(),
+		Metrics:         reg,
+		CheckpointDir:   t.TempDir(),
+		CheckpointEvery: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("autodetect_pipeline_checkpoints_total", "").Value(); got < 2 {
+		t.Errorf("checkpoints counter = %v, want >= 2", got)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/distsup"
+	"repro/internal/observe"
 	"repro/internal/pattern"
 	"repro/internal/stats"
 )
@@ -69,6 +70,12 @@ type Options struct {
 	Progress func(Progress)
 	// ProgressEvery is the progress sampling period.
 	ProgressEvery time.Duration
+	// Metrics, when set, receives live build telemetry: per-stage
+	// cumulative seconds, column/value totals, worker busy time and
+	// checkpoint counts (see DESIGN.md "Observability" for the metric
+	// names). The daemon passes its serving registry here so a scrape of
+	// /metrics shows training progress next to request latencies.
+	Metrics *observe.Registry
 }
 
 // Result is a completed pipeline build.
@@ -154,6 +161,8 @@ func Run(ctx context.Context, src ColumnSource, opts Options) (*Result, error) {
 		startTime: startTime,
 		progress:  opts.Progress,
 	}
+	b.met = newPipelineMetrics(opts.Metrics)
+	b.met.setWorkers(workers)
 	b.fingerprint = buildFingerprint(src, langs, tc.Smoothing, opts.SampleColumns, ds.Seed)
 	b.base = make([]*stats.LanguageStats, len(langs))
 	for i, l := range langs {
@@ -195,6 +204,10 @@ func Run(ctx context.Context, src ColumnSource, opts Options) (*Result, error) {
 		}()
 	}
 
+	// Publish restored totals before counting so a scrape during the
+	// checkpoint skip phase already shows the resumed position.
+	b.met.progress(b.columns.Load(), b.values.Load())
+
 	if err := b.count(ctx); err != nil {
 		return nil, err
 	}
@@ -210,7 +223,7 @@ func Run(ctx context.Context, src ColumnSource, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
-	b.clock.add(StageMerge, time.Since(t0))
+	b.addStage(StageMerge, time.Since(t0))
 
 	b.setStage(StageDistsup)
 	t0 = time.Now()
@@ -219,7 +232,7 @@ func Run(ctx context.Context, src ColumnSource, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: generating training data: %w", err)
 	}
-	b.clock.add(StageDistsup, time.Since(t0))
+	b.addStage(StageDistsup, time.Since(t0))
 
 	b.setStage(StageCalibrate)
 	t0 = time.Now()
@@ -227,7 +240,7 @@ func Run(ctx context.Context, src ColumnSource, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	b.clock.add(StageCalibrate, time.Since(t0))
+	b.addStage(StageCalibrate, time.Since(t0))
 
 	b.setStage(StageSelect)
 	t0 = time.Now()
@@ -235,7 +248,8 @@ func Run(ctx context.Context, src ColumnSource, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	b.clock.add(StageSelect, time.Since(t0))
+	b.addStage(StageSelect, time.Since(t0))
+	b.met.buildDone()
 	report.CandidateLanguages = len(langs)
 	report.TrainingExamples = len(data.Examples)
 	report.CompatColumns = data.CompatColumns
@@ -274,6 +288,7 @@ type build struct {
 	ckptsWritten    int
 
 	clock     *stageClock
+	met       *pipelineMetrics
 	startTime time.Time
 
 	progress func(Progress)
@@ -281,6 +296,14 @@ type build struct {
 	// delivery, so Options.Progress never runs concurrently with itself.
 	progMu sync.Mutex
 	stage  Stage
+}
+
+// addStage accumulates a stage duration on the clock and, when a metrics
+// registry is attached, on the exported per-stage counters — so a scrape
+// during a long build sees stage progress live, not only at the end.
+func (b *build) addStage(s Stage, d time.Duration) {
+	b.clock.add(s, d)
+	b.met.stage(s, d)
 }
 
 func (b *build) setStage(s Stage) {
@@ -294,6 +317,7 @@ func (b *build) noteCheckpoint() {
 	b.progMu.Lock()
 	b.ckptsWritten++
 	b.progMu.Unlock()
+	b.met.checkpoint()
 }
 
 func (b *build) checkpointsWritten() int {
@@ -363,11 +387,18 @@ func (b *build) count(ctx context.Context) error {
 			wg.Add(1)
 			go func(pb *stats.Builder) {
 				defer wg.Done()
+				// Busy time is measured around the fold, not the channel
+				// receive, so busy ÷ (count-stage seconds × workers) reads
+				// directly as worker utilization.
+				var busy time.Duration
 				for batch := range batches {
+					t := time.Now()
 					for _, col := range batch {
 						pb.AddColumn(col.Values)
 					}
+					busy += time.Since(t)
 				}
+				b.met.busy(busy)
 			}(partials[w])
 		}
 
@@ -406,7 +437,7 @@ func (b *build) count(ctx context.Context) error {
 		}
 		close(batches)
 		wg.Wait()
-		b.clock.add(StageCount, time.Since(roundStart))
+		b.addStage(StageCount, time.Since(roundStart))
 
 		// Barrier: fold the round's private shards into the base.
 		mergeStart := time.Now()
@@ -417,7 +448,8 @@ func (b *build) count(ctx context.Context) error {
 				}
 			}
 		}
-		b.clock.add(StageMerge, time.Since(mergeStart))
+		b.addStage(StageMerge, time.Since(mergeStart))
+		b.met.progress(b.columns.Load(), b.values.Load())
 
 		if srcErr != nil {
 			return fmt.Errorf("pipeline: reading source: %w", srcErr)

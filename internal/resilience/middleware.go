@@ -28,6 +28,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/observe"
 )
 
 // Middleware wraps an http.Handler with one hardening concern.
@@ -62,7 +64,10 @@ func RequestIDFrom(ctx context.Context) string {
 // RequestID propagates an incoming X-Request-Id (capped at 128 bytes) or
 // generates a fresh one, stores it in the request context, and echoes it
 // on the response so every reply — including 429s and recovered panics —
-// is attributable in client and server logs.
+// is attributable in client and server logs. The ID is also mirrored into
+// the observe context, so slog records emitted through the ctx-aware
+// methods (see observe.NewLogger and the AccessLog middleware) carry the
+// same request_id as the response header.
 func RequestID() Middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -73,7 +78,9 @@ func RequestID() Middleware {
 				id = hex.EncodeToString(b[:])
 			}
 			w.Header().Set(HeaderRequestID, id)
-			next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+			ctx := context.WithValue(r.Context(), requestIDKey, id)
+			ctx = observe.ContextWithRequestID(ctx, id)
+			next.ServeHTTP(w, r.WithContext(ctx))
 		})
 	}
 }

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+var servingBenchOut = flag.String("service.benchout", "",
+	"write the serving latency smoke result (BENCH_serving.json) to this path")
+
+// servingBench is the BENCH_serving.json payload.
+type servingBench struct {
+	Benchmark string  `json:"benchmark"`
+	Requests  int     `json:"requests"`
+	NumCPU    int     `json:"num_cpu"`
+	P50Millis float64 `json:"p50_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	MaxMillis float64 `json:"max_ms"`
+}
+
+func quantileMillis(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// TestServingSmoke measures end-to-end /v1/check-column latency through
+// the full middleware chain, asserts the key metric families are being
+// exported, and writes p50/p99 to -service.benchout (CI's serving-smoke
+// job sets it; plain `go test` skips).
+func TestServingSmoke(t *testing.T) {
+	if *servingBenchOut == "" {
+		t.Skip("serving smoke disabled; set -service.benchout to enable")
+	}
+	det, sem := trainedModel(t)
+	svc := New(det, sem)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	payload := map[string]any{"values": []string{
+		"2011-01-01", "2012-05-14", "2013-11-30", "2014-02-02",
+		"2015-08-19", "2016-03-03", "2017/06/20", "2018-12-25",
+	}}
+	const requests = 200
+	lat := make([]time.Duration, 0, requests)
+	for i := 0; i < requests; i++ {
+		start := time.Now()
+		resp, _ := postJSON(t, ts.URL+"/v1/check-column", payload)
+		lat = append(lat, time.Since(start))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+
+	// The smoke doubles as a metrics regression gate: the families the
+	// dashboards are built on must exist after real traffic.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, fam := range []string{
+		"autodetect_http_requests_total",
+		"autodetect_http_request_seconds",
+		"autodetect_span_seconds",
+		"autodetect_model_loaded 1",
+		"autodetect_detect_pairs_total",
+	} {
+		if !strings.Contains(body, fam) {
+			t.Errorf("/metrics missing family %q after traffic", fam)
+		}
+	}
+
+	out := servingBench{
+		Benchmark: "serving_check_column_latency",
+		Requests:  requests,
+		NumCPU:    runtime.NumCPU(),
+		P50Millis: quantileMillis(lat, 0.50),
+		P99Millis: quantileMillis(lat, 0.99),
+		MaxMillis: quantileMillis(lat, 1.0),
+	}
+	t.Logf("p50=%.2fms p99=%.2fms max=%.2fms over %d requests",
+		out.P50Millis, out.P99Millis, out.MaxMillis, requests)
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir := filepath.Dir(*servingBenchOut); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(*servingBenchOut, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/observe"
+	"repro/internal/resilience"
+	"repro/internal/sketch"
+)
+
+// serverObs holds the server's metric handles, created once on first
+// Handler/Swap use from the configured Metrics registry.
+type serverObs struct {
+	reg         *observe.Registry
+	http        *resilience.HTTPMetrics
+	modelLoaded *observe.Gauge   // autodetect_model_loaded
+	modelBytes  *observe.Gauge   // autodetect_model_bytes
+	modelLangs  *observe.Gauge   // autodetect_model_languages
+	swaps       *observe.Counter // autodetect_model_swaps_total
+}
+
+// knownRoutes is the bounded route-label set; anything else — scans,
+// typos, crawlers — collapses into "other" so an attacker cannot inflate
+// metric cardinality by walking the URL space.
+var knownRoutes = map[string]bool{
+	"/v1/health":       true,
+	"/v1/livez":        true,
+	"/v1/readyz":       true,
+	"/v1/check-column": true,
+	"/v1/check-table":  true,
+	"/v1/check-pair":   true,
+	"/v1/admin/reload": true,
+	"/metrics":         true,
+}
+
+func routeLabel(r *http.Request) string {
+	if knownRoutes[r.URL.Path] {
+		return r.URL.Path
+	}
+	if len(r.URL.Path) >= len("/debug/pprof") && r.URL.Path[:len("/debug/pprof")] == "/debug/pprof" {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// observability lazily builds the metric handles. The Metrics field is
+// read once here; set it before the first Handler or Swap call.
+func (s *Server) observability() *serverObs {
+	s.obsOnce.Do(func() {
+		reg := s.Metrics
+		if reg == nil {
+			reg = observe.NewRegistry()
+		}
+		o := &serverObs{reg: reg}
+		o.http = resilience.NewHTTPMetrics(reg)
+		o.http.Route = routeLabel
+		o.modelLoaded = reg.Gauge("autodetect_model_loaded",
+			"1 when a model is loaded and the server is ready, 0 before the first load.")
+		o.modelBytes = reg.Gauge("autodetect_model_bytes",
+			"Statistics footprint of the served model in bytes.")
+		o.modelLangs = reg.Gauge("autodetect_model_languages",
+			"Generalization languages in the served model's ensemble.")
+		o.swaps = reg.Counter("autodetect_model_swaps_total",
+			"Model hot-swaps since start (reloads via SIGHUP or /v1/admin/reload).")
+
+		// Detection hot-path counters live in their packages as striped
+		// atomics; expose them at scrape time.
+		hp := core.HotPath
+		reg.CounterFunc("autodetect_detect_values_total",
+			"Column cells submitted to DetectColumn.", func() uint64 { return hp().Values })
+		reg.CounterFunc("autodetect_detect_pairs_total",
+			"Distinct value pairs scored by the detector.", func() uint64 { return hp().Pairs })
+		reg.CounterFunc("autodetect_detect_language_pairs_total",
+			"Per-language pair evaluations (pairs × ensemble size).", func() uint64 { return hp().LanguagePairs })
+		reg.CounterFunc("autodetect_sketch_estimate_total",
+			"Count-min sketch point estimates served (sampled, unbiased).",
+			func() uint64 { return sketch.HotPath().Estimates })
+		reg.CounterFunc("autodetect_sketch_collision_total",
+			"Sketch estimates whose hash rows disagreed, i.e. collision noise present (sampled, unbiased).",
+			func() uint64 { return sketch.HotPath().Collisions })
+
+		s.obs = o
+		s.syncModelGauges()
+	})
+	return s.obs
+}
+
+// syncModelGauges reflects the current model snapshot into the readiness
+// and model gauges.
+func (s *Server) syncModelGauges() {
+	if s.obs == nil {
+		return
+	}
+	m := s.snapshot()
+	if m == nil {
+		s.obs.modelLoaded.Set(0)
+		s.obs.modelBytes.Set(0)
+		s.obs.modelLangs.Set(0)
+		return
+	}
+	s.obs.modelLoaded.Set(1)
+	s.obs.modelBytes.Set(float64(m.det.Bytes()))
+	s.obs.modelLangs.Set(float64(len(m.det.Languages())))
+}
+
+// Registry returns the server's metrics registry (creating the default
+// one if none was configured), for callers that want to register extra
+// collectors — the daemon adds pipeline metrics here.
+func (s *Server) Registry() *observe.Registry {
+	return s.observability().reg
+}
+
+// mountPprof exposes the net/http/pprof handlers on mux. Gated behind
+// Server.EnablePprof: profiling endpoints leak memory contents and must
+// stay off unless the operator asked for them.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// obsState is embedded in Server to keep the observability fields grouped.
+type obsState struct {
+	obsOnce sync.Once
+	obs     *serverObs
+}

@@ -24,15 +24,18 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"mime"
 	"net/http"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/observe"
 	"repro/internal/repair"
 	"repro/internal/resilience"
 	"repro/internal/semantic"
@@ -50,6 +53,7 @@ type model struct {
 // before calling Handler; they are read once when the handler is built.
 type Server struct {
 	cur atomic.Pointer[model]
+	obsState
 
 	// MaxValues bounds the accepted column length (default 10000).
 	MaxValues int
@@ -66,7 +70,20 @@ type Server struct {
 	// makes the endpoint answer 501.
 	Reload func() (*core.Detector, *semantic.Model, error)
 	// Logf receives panic reports and reload outcomes (nil discards).
+	// Deprecated in favour of Logger; kept for callers that only have a
+	// printf-shaped sink.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives structured per-request access logs and
+	// lifecycle events with request-ID correlation. It takes precedence
+	// over Logf for panic/reload reporting.
+	Logger *slog.Logger
+	// Metrics is the registry behind GET /metrics. Read once at the first
+	// Handler/Swap call; nil gets a private registry.
+	Metrics *observe.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (outside the
+	// load shedder, inside recovery). Off by default: profiles expose
+	// memory contents.
+	EnablePprof bool
 }
 
 // New returns a server; sem may be nil to disable value-level checks, and
@@ -91,6 +108,8 @@ func (s *Server) Swap(det *core.Detector, sem *semantic.Model) error {
 		return errors.New("service: cannot swap in a nil detector")
 	}
 	s.cur.Store(&model{det: det, sem: sem})
+	s.observability().swaps.Inc()
+	s.syncModelGauges()
 	return nil
 }
 
@@ -162,6 +181,8 @@ type healthResponse struct {
 
 // Handler returns the HTTP handler with the hardening chain applied.
 func (s *Server) Handler() http.Handler {
+	obs := s.observability()
+
 	api := http.NewServeMux()
 	api.HandleFunc("/v1/health", s.handleHealth)
 	api.HandleFunc("/v1/check-column", s.handleColumn)
@@ -175,17 +196,39 @@ func (s *Server) Handler() http.Handler {
 		resilience.MaxBytes(s.MaxBodyBytes),
 	)(api)
 
-	// Probes sit outside the limiter and deadline: an orchestrator must
-	// be able to distinguish "alive but shedding load" from "dead".
+	// Probes and the metrics scrape sit outside the limiter and deadline:
+	// an orchestrator must be able to distinguish "alive but shedding
+	// load" from "dead", and the scrape that would explain an overload
+	// must not itself be shed.
 	root := http.NewServeMux()
 	root.HandleFunc("/v1/livez", s.handleLivez)
 	root.HandleFunc("/v1/readyz", s.handleReadyz)
+	root.Handle("/metrics", obs.reg.Handler())
+	if s.EnablePprof {
+		mountPprof(root)
+	}
 	root.Handle("/", hardened)
 
+	// Metrics outermost after RequestID so 429s, 504s and recovered 500s
+	// are all counted; the access log inside Metrics but outside Recover
+	// sees the final status of every request.
 	return resilience.Chain(
 		resilience.RequestID(),
-		resilience.Recover(s.Logf),
+		resilience.Metrics(obs.http),
+		resilience.AccessLog(s.Logger),
+		resilience.Recover(s.recoverLogf()),
 	)(root)
+}
+
+// recoverLogf adapts the configured logger for the panic-recovery
+// middleware, preferring the structured logger.
+func (s *Server) recoverLogf() func(format string, args ...any) {
+	if s.Logger != nil {
+		return func(format string, args ...any) {
+			s.Logger.Error(fmt.Sprintf(format, args...))
+		}
+	}
+	return s.Logf
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -300,17 +343,23 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) logf(format string, args ...any) {
+	if s.Logger != nil {
+		s.Logger.Info(fmt.Sprintf(format, args...))
+		return
+	}
 	if s.Logf != nil {
 		s.Logf(format, args...)
 	}
 }
 
-// checkColumn runs both detectors over a column.
-func (m *model) checkColumn(values []string, minConf float64) []Finding {
+// checkColumn runs both detectors over a column, timing the pattern and
+// semantic passes as nested spans of the calling handler.
+func (m *model) checkColumn(ctx context.Context, values []string, minConf float64) []Finding {
 	if minConf == 0 {
 		minConf = 0.5
 	}
 	var out []Finding
+	_, endPattern := observe.Span(ctx, "detect_pattern")
 	for _, f := range m.det.DetectColumn(values) {
 		if f.Confidence < minConf {
 			continue
@@ -325,7 +374,9 @@ func (m *model) checkColumn(values []string, minConf float64) []Finding {
 		}
 		out = append(out, sf)
 	}
+	endPattern()
 	if m.sem != nil {
+		_, endSem := observe.Span(ctx, "detect_semantic")
 		for _, f := range m.sem.DetectColumn(values) {
 			if f.Confidence < minConf {
 				continue
@@ -335,6 +386,7 @@ func (m *model) checkColumn(values []string, minConf float64) []Finding {
 				Confidence: f.Confidence, Kind: "semantic",
 			})
 		}
+		endSem()
 	}
 	return out
 }
@@ -357,7 +409,10 @@ func (s *Server) handleColumn(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("at most %d values per column", s.MaxValues))
 		return
 	}
-	writeJSON(w, http.StatusOK, columnResponse{Findings: m.checkColumn(req.Values, req.MinConfidence)})
+	ctx, end := observe.Span(r.Context(), "check_column")
+	findings := m.checkColumn(ctx, req.Values, req.MinConfidence)
+	end()
+	writeJSON(w, http.StatusOK, columnResponse{Findings: findings})
 }
 
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
@@ -381,12 +436,14 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusRequestEntityTooLarge, "table too large")
 		return
 	}
+	ctx, end := observe.Span(r.Context(), "check_table")
 	resp := tableResponse{Columns: map[string][]Finding{}}
 	for name, vs := range req.Columns {
-		if fs := m.checkColumn(vs, req.MinConfidence); len(fs) > 0 {
+		if fs := m.checkColumn(ctx, vs, req.MinConfidence); len(fs) > 0 {
 			resp.Columns[name] = fs
 		}
 	}
+	end()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -403,7 +460,9 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "need both a and b")
 		return
 	}
+	_, end := observe.Span(r.Context(), "check_pair")
 	ps := m.det.ScorePair(req.A, req.B)
+	end()
 	resp := pairResponse{Incompatible: ps.Flagged, Confidence: ps.Confidence}
 	for _, l := range ps.ByLanguage {
 		resp.ByLanguage = append(resp.ByLanguage, struct {

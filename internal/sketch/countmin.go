@@ -103,11 +103,31 @@ func (cm *CountMin) Add(key uint64, n uint32) {
 
 // Estimate returns the estimated count for key: the minimum over hash rows.
 // The estimate never under-counts.
+//
+// Estimates feed the package probe counters (see HotPath): total
+// estimates, plus a collision tick when the rows disagree — the cheap
+// in-band signal that the sketch is carrying collision noise for this
+// key. A bare Estimate costs only tens of nanoseconds, so even one
+// uncontended atomic add per call is measurable; instead calls are
+// sampled 1-in-hotSample on the key's low bits (keys are hashes, so the
+// bits are uniform) and each sampled call adds hotSample, keeping the
+// counters unbiased while the amortized cost rounds to zero.
 func (cm *CountMin) Estimate(key uint64) uint64 {
 	min := uint64(math.MaxUint64)
+	max := uint64(0)
 	for i := 0; i < cm.depth; i++ {
-		if c := uint64(cm.rows[i][cm.index(key, i)]); c < min {
+		c := uint64(cm.rows[i][cm.index(key, i)])
+		if c < min {
 			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if key&(hotSample-1) == 0 {
+		hotEstimates.Add(uintptr(key>>hotSampleBits), hotSample)
+		if max != min {
+			hotCollisions.Add(uintptr(key>>hotSampleBits), hotSample)
 		}
 	}
 	return min

@@ -1,0 +1,39 @@
+package sketch
+
+import "repro/internal/observe"
+
+// Sketch probe counters, striped by the probed key so concurrent readers
+// of a served model's sketches do not contend on one cache line. A
+// "collision" is an estimate whose hash rows disagreed: at least one row
+// is carrying extra mass from other keys, i.e. the εN error term of
+// Section 3.4 is live for that key. The collision rate is the practical
+// fill-rate signal — it climbs as the sketch saturates — and the service
+// layer exposes both counters on /metrics.
+//
+// Estimate is too cheap to afford an atomic per call, so the counters
+// are sampled: 1 in hotSample calls records, weighted by hotSample, so
+// the totals stay unbiased estimators of the true call counts.
+var (
+	hotEstimates  observe.HotCounter
+	hotCollisions observe.HotCounter
+)
+
+const (
+	hotSampleBits = 6
+	hotSample     = 1 << hotSampleBits
+)
+
+// HotPathStats is a snapshot of the sketch probe counters since process
+// start. Both values are sampled approximations (±hotSample per stripe).
+type HotPathStats struct {
+	// Estimates counts Estimate calls (EstimateCorrected probes count
+	// once through their inner Estimate).
+	Estimates uint64
+	// Collisions counts estimates whose rows disagreed.
+	Collisions uint64
+}
+
+// HotPath returns the current sketch probe counters.
+func HotPath() HotPathStats {
+	return HotPathStats{Estimates: hotEstimates.Load(), Collisions: hotCollisions.Load()}
+}
