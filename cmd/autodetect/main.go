@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/repair"
 	"repro/internal/report"
+	"repro/internal/retry"
 )
 
 // logger carries training diagnostics on stderr; detection output (the
@@ -77,7 +79,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  autodetect train  -out model.bin [-profile web|spreadsheet] [-columns N] [-corpus file.csv] [-dir tables/] [-workers N] [-checkpoint dir/] [-checkpoint-every N] [-sample N] [-pairs N] [-budget MB] [-precision P] [-seed N]
+  autodetect train  -out model.bin [-profile web|spreadsheet] [-columns N] [-corpus file.csv] [-dir tables/] [-workers N] [-checkpoint dir/] [-checkpoint-every N] [-sample N] [-pairs N] [-budget MB] [-precision P] [-seed N] [-max-bad-files N] [-max-bad-frac F] [-quarantine-dir dir/] [-io-retries N]
   autodetect detect -model model.bin -in data.csv [-header] [-min-confidence P]
   autodetect pair   -model model.bin VALUE1 VALUE2
   autodetect baselines -in data.csv [-header]
@@ -96,6 +98,10 @@ func cmdTrain(args []string) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "counting/calibration parallelism")
 	checkpoint := fs.String("checkpoint", "", "checkpoint directory: periodic shard saves, resume on restart")
 	checkpointEvery := fs.Int("checkpoint-every", 100000, "columns between checkpoints")
+	maxBadFiles := fs.Int("max-bad-files", 0, "quarantine up to N unreadable/unparseable table files instead of failing (-dir)")
+	maxBadFrac := fs.Float64("max-bad-frac", 0, "quarantine up to this fraction of table files instead of failing (-dir)")
+	quarantineDir := fs.String("quarantine-dir", "", "directory for the quarantine manifest (quarantine.jsonl); defaults to no manifest (-dir)")
+	ioRetries := fs.Int("io-retries", 3, "attempts per table file for transient I/O errors (-dir)")
 	sample := fs.Int("sample", 0, "cap the distant-supervision column sample (0 = keep every column)")
 	pairs := fs.Int("pairs", 20000, "distant-supervision pairs per class")
 	budget := fs.Int("budget", 64, "memory budget in MB")
@@ -111,11 +117,18 @@ func cmdTrain(args []string) error {
 	var src pipeline.ColumnSource
 	switch {
 	case *dir != "":
-		ds, err := pipeline.NewDirSource(*dir, *header)
+		ds, err := pipeline.NewDirSourceWith(*dir, pipeline.DirConfig{
+			HasHeader:     *header,
+			MaxBadFiles:   *maxBadFiles,
+			MaxBadFrac:    *maxBadFrac,
+			QuarantineDir: *quarantineDir,
+			Retry:         retry.Policy{MaxAttempts: *ioRetries},
+		})
 		if err != nil {
 			return err
 		}
-		logger.Info("streaming table files", "files", ds.Files(), "dir", *dir)
+		logger.Info("streaming table files", "files", ds.Files(), "dir", *dir,
+			"max_bad_files", *maxBadFiles, "max_bad_frac", *maxBadFrac, "io_retries", *ioRetries)
 		src = ds
 	case *corpusPath != "":
 		f, err := os.Open(*corpusPath)
@@ -176,6 +189,14 @@ func cmdTrain(args []string) error {
 	logger.Info("trained", "columns", res.Columns, "values", res.Values,
 		"elapsed", res.Elapsed.Round(10*time.Millisecond).String(),
 		"resumed_columns", res.ResumedColumns)
+	if res.FilesSkipped > 0 || res.ColumnsQuarantined > 0 {
+		logger.Warn("degraded ingestion", "files_skipped", res.FilesSkipped,
+			"columns_quarantined", res.ColumnsQuarantined, "quarantine_dir", *quarantineDir)
+	}
+	if res.CorruptCheckpointsSkipped > 0 {
+		logger.Warn("corrupt checkpoint shards skipped on resume",
+			"shards", res.CorruptCheckpointsSkipped)
+	}
 	for _, st := range res.Stages {
 		logger.Info("stage timing", "stage", string(st.Stage),
 			"elapsed", st.Duration.Round(time.Millisecond).String())
@@ -185,12 +206,9 @@ func cmdTrain(args []string) error {
 	for _, l := range rep.Selected {
 		fmt.Printf("  %v\n", l)
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := res.Detector.Save(f); err != nil {
+	// Durable save: temp file + fsync + rename, so a crash mid-write can
+	// never leave a truncated model at -out.
+	if err := atomicio.WriteTo(*out, 0o644, res.Detector.Save); err != nil {
 		return err
 	}
 	logger.Info("model written", "out", *out, "model_bytes", rep.SelectedBytes)

@@ -39,6 +39,7 @@ import (
 	"repro/internal/distsup"
 	"repro/internal/observe"
 	"repro/internal/pipeline"
+	"repro/internal/retry"
 	"repro/internal/semantic"
 	"repro/internal/service"
 )
@@ -70,6 +71,10 @@ func main() {
 	pairs := flag.Int("pairs", 10000, "distant-supervision pairs per class when training in-process")
 	workers := flag.Int("workers", runtime.NumCPU(), "pipeline parallelism for in-process training")
 	sample := flag.Int("sample", 100000, "distant-supervision column sample cap for -train-dir (0 = keep all columns in memory)")
+	maxBadFiles := flag.Int("max-bad-files", 0, "quarantine up to N unreadable/unparseable table files instead of failing (-train-dir)")
+	maxBadFrac := flag.Float64("max-bad-frac", 0, "quarantine up to this fraction of table files instead of failing (-train-dir)")
+	quarantineDir := flag.String("quarantine-dir", "", "directory for the quarantine manifest (quarantine.jsonl) when training from -train-dir")
+	ioRetries := flag.Int("io-retries", 3, "attempts per table file for transient I/O errors (-train-dir)")
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 1, "random seed when -train is set")
 	maxInflight := flag.Int("max-inflight", 256, "concurrent requests before shedding with 429 (0 disables)")
@@ -116,12 +121,19 @@ func main() {
 	// pipeline; it is re-invoked on SIGHUP / admin reload so the serving
 	// model tracks the table directory without a restart.
 	buildFromDir := func() (*core.Detector, error) {
-		src, err := pipeline.NewDirSource(*trainDir, true)
+		src, err := pipeline.NewDirSourceWith(*trainDir, pipeline.DirConfig{
+			HasHeader:     true,
+			MaxBadFiles:   *maxBadFiles,
+			MaxBadFrac:    *maxBadFrac,
+			QuarantineDir: *quarantineDir,
+			Retry:         retry.Policy{MaxAttempts: *ioRetries},
+		})
 		if err != nil {
 			return nil, err
 		}
 		logger.Info("pipeline build starting",
-			"files", src.Files(), "train_dir", *trainDir, "workers", *workers)
+			"files", src.Files(), "train_dir", *trainDir, "workers", *workers,
+			"max_bad_files", *maxBadFiles, "max_bad_frac", *maxBadFrac, "io_retries", *ioRetries)
 		res, err := pipeline.Run(context.Background(), src, pipeline.Options{
 			Workers:       *workers,
 			Train:         trainConfig(),
@@ -135,6 +147,10 @@ func main() {
 			"columns", res.Columns, "values", res.Values,
 			"elapsed", res.Elapsed.Round(time.Millisecond).String(),
 			"languages", len(res.Report.Selected))
+		if res.FilesSkipped > 0 || res.ColumnsQuarantined > 0 {
+			logger.Warn("degraded ingestion", "files_skipped", res.FilesSkipped,
+				"columns_quarantined", res.ColumnsQuarantined, "quarantine_dir", *quarantineDir)
+		}
 		return res.Detector, nil
 	}
 

@@ -14,12 +14,14 @@
 package main
 
 import (
-	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
+	"repro/internal/atomicio"
 	"repro/internal/corpus"
 	"repro/internal/observe"
 )
@@ -94,20 +96,17 @@ func sliceNext(cols []*corpus.Column) func() *corpus.Column {
 
 // writeSharded drains n columns from next into numbered CSV shards of at
 // most colsPerFile columns each, emitting ground truth (with global column
-// indices) along the way.
+// indices) along the way. Every shard — and the label file — lands via an
+// atomic durable write, so a crash mid-generation never leaves a truncated
+// shard for `autodetect train -dir` to trip over.
 func writeSharded(next func() *corpus.Column, n int, dir string, colsPerFile int, labelsPath string) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		fail(err)
 	}
-	var lw *bufio.Writer
-	var lf *os.File
-	if labelsPath != "" {
-		var err error
-		if lf, err = os.Create(labelsPath); err != nil {
-			fail(err)
-		}
-		lw = bufio.NewWriter(lf)
-	}
+	// Ground truth is buffered and written atomically at the end: dirty
+	// cells are a small fraction of the corpus, and a half-written label
+	// file is worse than none.
+	var labelBuf bytes.Buffer
 	written, values, dirtyCols, shards := 0, 0, 0, 0
 	for written < n {
 		take := colsPerFile
@@ -121,35 +120,23 @@ func writeSharded(next func() *corpus.Column, n int, dir string, colsPerFile int
 			if len(chunk[i].Dirty) > 0 {
 				dirtyCols++
 			}
-			if lw != nil {
+			if labelsPath != "" {
 				for _, ri := range chunk[i].Dirty {
-					fmt.Fprintf(lw, "%d\t%d\t%s\n", written+i, ri, chunk[i].Values[ri])
+					fmt.Fprintf(&labelBuf, "%d\t%d\t%s\n", written+i, ri, chunk[i].Values[ri])
 				}
 			}
 		}
 		path := filepath.Join(dir, fmt.Sprintf("shard-%06d.csv", shards))
-		f, err := os.Create(path)
-		if err != nil {
-			fail(err)
-		}
-		w := bufio.NewWriter(f)
-		if err := corpus.WriteCSV(w, chunk); err != nil {
-			fail(err)
-		}
-		if err := w.Flush(); err != nil {
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := atomicio.WriteTo(path, 0o644, func(w io.Writer) error {
+			return corpus.WriteCSV(w, chunk)
+		}); err != nil {
 			fail(err)
 		}
 		written += take
 		shards++
 	}
-	if lw != nil {
-		if err := lw.Flush(); err != nil {
-			fail(err)
-		}
-		if err := lf.Close(); err != nil {
+	if labelsPath != "" {
+		if err := atomicio.WriteFile(labelsPath, labelBuf.Bytes(), 0o644); err != nil {
 			fail(err)
 		}
 		logger.Info("ground truth written", "labels", labelsPath)
@@ -159,39 +146,27 @@ func writeSharded(next func() *corpus.Column, n int, dir string, colsPerFile int
 }
 
 // writeSingle materializes the corpus into one CSV, the original mode.
+// Both the corpus and the ground truth land via atomic durable writes.
 func writeSingle(c *corpus.Corpus, out, labelsPath string) {
-	f, err := os.Create(out)
-	if err != nil {
-		fail(err)
-	}
-	w := bufio.NewWriter(f)
-	if err := corpus.WriteCSV(w, c.Columns); err != nil {
-		fail(err)
-	}
-	if err := w.Flush(); err != nil {
-		fail(err)
-	}
-	if err := f.Close(); err != nil {
+	if err := atomicio.WriteTo(out, 0o644, func(w io.Writer) error {
+		return corpus.WriteCSV(w, c.Columns)
+	}); err != nil {
 		fail(err)
 	}
 	logger.Info("corpus written", "columns", c.NumColumns(), "values", c.NumValues(),
 		"dirty_columns", c.DirtyColumns(), "out", out)
 
 	if labelsPath != "" {
-		lf, err := os.Create(labelsPath)
-		if err != nil {
-			fail(err)
-		}
-		lw := bufio.NewWriter(lf)
-		for ci, col := range c.Columns {
-			for _, ri := range col.Dirty {
-				fmt.Fprintf(lw, "%d\t%d\t%s\n", ci, ri, col.Values[ri])
+		if err := atomicio.WriteTo(labelsPath, 0o644, func(w io.Writer) error {
+			for ci, col := range c.Columns {
+				for _, ri := range col.Dirty {
+					if _, err := fmt.Fprintf(w, "%d\t%d\t%s\n", ci, ri, col.Values[ri]); err != nil {
+						return err
+					}
+				}
 			}
-		}
-		if err := lw.Flush(); err != nil {
-			fail(err)
-		}
-		if err := lf.Close(); err != nil {
+			return nil
+		}); err != nil {
 			fail(err)
 		}
 		logger.Info("ground truth written", "labels", labelsPath)

@@ -1,0 +1,83 @@
+// Package atomicio provides crash-durable file replacement for every
+// artifact the system persists — serialized models, checkpoint shards, and
+// generated corpus files. The write protocol is the standard one:
+//
+//	write to a temp file in the destination directory
+//	fsync the temp file
+//	rename over the destination
+//	fsync the parent directory
+//
+// A reader therefore observes either the complete old file or the complete
+// new file, never a torn intermediate, and the rename itself survives a
+// power cut once the directory entry is synced. Combined with the CRC64
+// integrity envelope (internal/envelope) this gives end-to-end durability:
+// atomicio prevents torn files from ever landing at the final path, and the
+// envelope rejects any corruption that slips past the filesystem anyway.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteTo atomically replaces path with whatever write produces. The
+// callback receives a buffered writer backed by a temp file in path's
+// directory; on any failure the temp file is removed and the destination is
+// left untouched.
+func WriteTo(path string, perm os.FileMode, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	// The data must be on stable storage before the rename makes it
+	// reachable; otherwise a crash can leave a fully-named empty file.
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: fsync %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// WriteFile atomically replaces path with data (the durable counterpart of
+// os.WriteFile).
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	return WriteTo(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives a crash.
+// Errors are deliberately ignored: some filesystems (and all of Windows)
+// reject fsync on directories, and the rename itself already succeeded —
+// the worst case of a failed directory sync is the pre-rename state after
+// a power cut, which is exactly the atomicity contract.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

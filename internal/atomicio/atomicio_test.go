@@ -1,0 +1,108 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("read %q, want v1", got)
+	}
+	if err := WriteFile(path, []byte("v2 longer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2 longer" {
+		t.Fatalf("read %q, want v2 longer", got)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Errorf("perm = %v, want 0644", fi.Mode().Perm())
+	}
+}
+
+func TestWriteToFailureLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out")
+	if err := WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("mid-write crash")
+	err := WriteTo(path, 0o644, func(w io.Writer) error {
+		io.WriteString(w, "torn part")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("WriteTo = %v, want the injected error", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "precious" {
+		t.Fatalf("destination corrupted: %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s leaked after failed write", e.Name())
+		}
+	}
+}
+
+func TestWriteToNoTempLeakOnSuccess(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "a" {
+		t.Errorf("directory holds %v, want just [a]", ents)
+	}
+}
+
+func TestWriteToMissingDirectory(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no-such-dir", "x"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("expected error writing into a missing directory")
+	}
+}
+
+func TestWriteToStreamsLargePayload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big")
+	chunk := strings.Repeat("0123456789abcdef", 4096) // 64 KiB
+	const chunks = 8
+	err := WriteTo(path, 0o644, func(w io.Writer) error {
+		for i := 0; i < chunks; i++ {
+			if _, err := io.WriteString(w, chunk); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len(chunk) * chunks); fi.Size() != want {
+		t.Errorf("size = %d, want %d", fi.Size(), want)
+	}
+}

@@ -141,15 +141,43 @@ func ReadCSV(r io.Reader, hasHeader bool) ([]*Column, error) {
 	return ReadTable(r, ',', hasHeader)
 }
 
+// ParseError is the typed failure of ReadTable/ReadCSV: parsing stopped at
+// byte Offset of the input (after any BOM), wrapping the underlying CSV or
+// I/O error. Callers classify it — a quarantine manifest records the offset,
+// and a transient read error buried under it is still retryable through
+// errors.Is/As on the wrapped cause.
+type ParseError struct {
+	// Offset is the byte position in the input where parsing failed.
+	Offset int64
+	// Err is the underlying csv.ParseError or reader error.
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("corpus: parse error at byte %d: %v", e.Offset, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
 // ReadTable is ReadCSV with a configurable field delimiter (',' for CSV,
 // '\t' for TSV), sharing the same BOM/ragged-row/phantom-column hardening.
+// Malformed input never panics: the result is either the parsed columns or
+// a *ParseError carrying the byte offset of the failure.
 func ReadTable(r io.Reader, comma rune, hasHeader bool) ([]*Column, error) {
-	cr := csv.NewReader(stripBOM(r))
+	in, bomLen := stripBOM(r)
+	cr := csv.NewReader(in)
 	cr.Comma = comma
 	cr.FieldsPerRecord = -1
-	recs, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("corpus: reading csv: %w", err)
+	var recs [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, &ParseError{Offset: bomLen + cr.InputOffset(), Err: err}
+		}
+		recs = append(recs, rec)
 	}
 	if len(recs) == 0 {
 		return nil, nil
@@ -204,13 +232,15 @@ func ReadTable(r io.Reader, comma rune, hasHeader bool) ([]*Column, error) {
 }
 
 // stripBOM removes a leading UTF-8 byte-order mark, which spreadsheet
-// exports routinely prepend.
-func stripBOM(r io.Reader) io.Reader {
+// exports routinely prepend, reporting how many bytes it consumed so parse
+// offsets stay anchored to the raw input.
+func stripBOM(r io.Reader) (io.Reader, int64) {
 	br := bufio.NewReader(r)
 	if lead, err := br.Peek(3); err == nil && lead[0] == 0xEF && lead[1] == 0xBB && lead[2] == 0xBF {
 		br.Discard(3)
+		return br, 3
 	}
-	return br
+	return br, 0
 }
 
 // WriteCSV writes the columns as a CSV table with a header row. Columns of

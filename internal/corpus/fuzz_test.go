@@ -1,0 +1,62 @@
+package corpus
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzReadTable hammers the table loader with the artifacts that show up in
+// scraped web-table corpora — invalid UTF-8, NUL bytes, mega-rows,
+// mismatched quotes, BOMs, ragged rows — and asserts the ingestion
+// contract: never panic, and always return either columns or a typed
+// *ParseError whose offset lies inside the input.
+func FuzzReadTable(f *testing.F) {
+	f.Add([]byte("a,b\n1,2\n"), true)
+	f.Add([]byte("\xef\xbb\xbfa,b\n1,2\n"), true)                                // BOM
+	f.Add([]byte("a,b\n1\n1,2,3\n"), false)                                      // ragged
+	f.Add([]byte("\"unterminated,b\n1,2\n"), true)                               // mismatched quote
+	f.Add([]byte("a,\"b\"x\n"), true)                                            // quote followed by junk
+	f.Add([]byte("\xff\xfe\x00garbage\x00,b\n"), false)                          // invalid UTF-8 + NUL
+	f.Add([]byte("a\x00b,c\n\x00,\x00\n"), true)                                 // NUL cells
+	f.Add([]byte(strings.Repeat("x,", 2000)+"y\n"), false)                       // mega-row (wide)
+	f.Add([]byte("v\n"+strings.Repeat(strings.Repeat("q", 500)+"\n", 50)), true) // mega cells
+	f.Add([]byte("\r\n\r\n,\r\n"), false)
+	f.Add([]byte{}, true)
+
+	f.Fuzz(func(t *testing.T, data []byte, hasHeader bool) {
+		for _, comma := range []rune{',', '\t'} {
+			cols, err := ReadTable(strings.NewReader(string(data)), comma, hasHeader)
+			if err != nil {
+				if cols != nil {
+					t.Fatalf("ReadTable returned both columns and error %v", err)
+				}
+				var pe *ParseError
+				if !errors.As(err, &pe) {
+					t.Fatalf("ReadTable error %T is not a *ParseError: %v", err, err)
+				}
+				if pe.Offset < 0 || pe.Offset > int64(len(data)) {
+					t.Fatalf("ParseError offset %d outside input of %d bytes", pe.Offset, len(data))
+				}
+				if pe.Unwrap() == nil {
+					t.Fatal("ParseError wraps no cause")
+				}
+				continue
+			}
+			// Success contract: rectangular columns, every cell present.
+			rows := -1
+			for _, c := range cols {
+				if c == nil {
+					t.Fatal("nil column in result")
+				}
+				if rows == -1 {
+					rows = len(c.Values)
+				} else if len(c.Values) != rows {
+					t.Fatalf("ragged result: column has %d values, first had %d", len(c.Values), rows)
+				}
+			}
+			_ = utf8.Valid(data) // loader accepts non-UTF-8 data; it is data, not structure
+		}
+	})
+}

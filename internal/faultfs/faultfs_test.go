@@ -1,0 +1,188 @@
+package faultfs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/retry"
+)
+
+// memOpener serves fixed contents from memory.
+func memOpener(files map[string]string) Opener {
+	return func(path string) (io.ReadCloser, error) {
+		s, ok := files[path]
+		if !ok {
+			return nil, os.ErrNotExist
+		}
+		return io.NopCloser(strings.NewReader(s)), nil
+	}
+}
+
+func TestTransientFaultRecoversAfterN(t *testing.T) {
+	fs := NewWith(memOpener(map[string]string{"a.csv": "x,y\n1,2\n"}), Config{
+		Seed: 7, TransientRate: 1, RecoverAfter: 3,
+	})
+	for i := 0; i < 3; i++ {
+		_, err := fs.Open("a.csv")
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("open %d: err = %v, want injected fault", i, err)
+		}
+		if !retry.IsTransient(err) {
+			t.Fatalf("open %d: injected transient fault not classified transient", i)
+		}
+	}
+	rc, err := fs.Open("a.csv")
+	if err != nil {
+		t.Fatalf("open after recovery: %v", err)
+	}
+	got, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(got) != "x,y\n1,2\n" {
+		t.Errorf("recovered read = %q", got)
+	}
+	if fs.TransientInjected() != 3 {
+		t.Errorf("TransientInjected = %d, want 3", fs.TransientInjected())
+	}
+}
+
+func TestPermanentFaultNeverRecovers(t *testing.T) {
+	fs := NewWith(memOpener(map[string]string{"a.csv": "x"}), Config{
+		Seed: 7, PermanentRate: 1,
+	})
+	for i := 0; i < 5; i++ {
+		_, err := fs.Open("a.csv")
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("open %d: err = %v, want injected fault", i, err)
+		}
+		if retry.IsTransient(err) {
+			t.Fatal("permanent fault must not classify as transient")
+		}
+	}
+	if fs.PermanentInjected() != 5 {
+		t.Errorf("PermanentInjected = %d, want 5", fs.PermanentInjected())
+	}
+}
+
+func TestRateSelectionIsDeterministicAndPartial(t *testing.T) {
+	files := map[string]string{}
+	for i := 0; i < 200; i++ {
+		files[filepath.Join("d", string(rune('a'+i%26))+string(rune('0'+i/26)))] = "x"
+	}
+	count := func(seed uint64) (int, map[string]bool) {
+		fs := NewWith(memOpener(files), Config{Seed: seed, TransientRate: 0.3, RecoverAfter: 1})
+		faulty := map[string]bool{}
+		for p := range files {
+			if _, err := fs.Open(p); err != nil {
+				faulty[p] = true
+			}
+		}
+		return len(faulty), faulty
+	}
+	n1, f1 := count(42)
+	n2, f2 := count(42)
+	if n1 != n2 {
+		t.Fatalf("same seed selected %d then %d faulty paths", n1, n2)
+	}
+	for p := range f1 {
+		if !f2[p] {
+			t.Fatalf("same seed selected different paths")
+		}
+	}
+	if n1 == 0 || n1 == len(files) {
+		t.Errorf("rate 0.3 selected %d/%d paths; want a strict subset", n1, len(files))
+	}
+}
+
+func TestReadFaultFailsMidStream(t *testing.T) {
+	content := strings.Repeat("a,b\n", 100)
+	fs := NewWith(memOpener(map[string]string{"a.csv": content}), Config{
+		Seed: 3, TransientRate: 1, RecoverAfter: 1, ReadFault: true, ReadFaultAfter: 10,
+	})
+	rc, err := fs.Open("a.csv")
+	if err != nil {
+		t.Fatalf("ReadFault mode should open fine, got %v", err)
+	}
+	_, err = io.ReadAll(rc)
+	rc.Close()
+	if !errors.Is(err, ErrInjected) || !retry.IsTransient(err) {
+		t.Fatalf("mid-read err = %v, want injected transient", err)
+	}
+	// Second open: recovered.
+	rc, err = fs.Open("a.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || string(got) != content {
+		t.Fatalf("recovered read err=%v len=%d", err, len(got))
+	}
+}
+
+func TestShortWriterLies(t *testing.T) {
+	var buf bytes.Buffer
+	sw := &ShortWriter{W: &buf, Cap: 5}
+	n, err := sw.Write([]byte("0123456789"))
+	if err != nil || n != 10 {
+		t.Fatalf("Write = (%d, %v), want (10, nil)", n, err)
+	}
+	if buf.String() != "01234" {
+		t.Errorf("persisted %q, want torn prefix 01234", buf.String())
+	}
+	if n, _ := sw.Write([]byte("more")); n != 4 {
+		t.Errorf("post-cap write reported %d", n)
+	}
+	if buf.String() != "01234" {
+		t.Errorf("post-cap write persisted data: %q", buf.String())
+	}
+}
+
+func TestTearAndFlipByte(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "f")
+	if err := os.WriteFile(p, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Tear(p, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(p)
+	if string(got) != "0123" {
+		t.Fatalf("after Tear: %q", got)
+	}
+	if err := FlipByte(p, 2, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(p)
+	if got[2] == '2' {
+		t.Error("FlipByte left the byte unchanged")
+	}
+}
+
+func TestKillSwitch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	k := NewKillSwitch(3, cancel)
+	k.Hit()
+	k.Hit()
+	if ctx.Err() != nil {
+		t.Fatal("killed before the armed hit count")
+	}
+	if k.Fired() {
+		t.Fatal("Fired before the armed hit count")
+	}
+	k.Hit()
+	if ctx.Err() == nil {
+		t.Fatal("third hit should cancel")
+	}
+	k.Hit() // further hits are no-ops
+	if !k.Fired() {
+		t.Fatal("Fired() should report true after the kill")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/atomicio"
 	"repro/internal/corpus"
 	"repro/internal/envelope"
 	"repro/internal/pattern"
@@ -218,9 +219,17 @@ func checkpointPath(dir string, columns uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("checkpoint-%012d.ckpt", columns))
 }
 
-// writeCheckpoint atomically persists the shard (temp file + rename) and
-// prunes older shards so at most one checkpoint lives in dir.
-func writeCheckpoint(dir string, c *checkpoint) error {
+// defaultKeepCheckpoints is how many newest shards survive pruning when
+// Options.KeepLastCheckpoints is unset. Keeping more than one is what makes
+// the corrupt-newest-shard fallback possible: a torn write (or bit rot) in
+// the latest shard costs one checkpoint interval of recounting, not the
+// whole build.
+const defaultKeepCheckpoints = 3
+
+// writeCheckpoint durably persists the shard — temp file, fsync, rename,
+// parent-dir fsync via atomicio — and prunes all but the newest keepLast
+// shards.
+func writeCheckpoint(dir string, c *checkpoint, keepLast int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("pipeline: %w", err)
 	}
@@ -228,29 +237,21 @@ func writeCheckpoint(dir string, c *checkpoint) error {
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
-	if err != nil {
-		return fmt.Errorf("pipeline: %w", err)
-	}
-	if err := envelope.Write(tmp, ckptMagic, payload); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+	final := checkpointPath(dir, c.columns)
+	if err := atomicio.WriteTo(final, 0o644, func(w io.Writer) error {
+		return envelope.Write(w, ckptMagic, payload)
+	}); err != nil {
 		return fmt.Errorf("pipeline: writing checkpoint: %w", err)
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("pipeline: %w", err)
+	if keepLast <= 0 {
+		keepLast = defaultKeepCheckpoints
 	}
-	final := checkpointPath(dir, c.columns)
-	if err := os.Rename(tmp.Name(), final); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("pipeline: %w", err)
-	}
-	// Prune superseded shards.
-	for _, old := range listCheckpoints(dir) {
-		if old != final {
-			os.Remove(old)
-		}
+	// Prune superseded shards, oldest first, keeping the newest keepLast.
+	// Shard names embed the zero-padded column boundary, so lexical order
+	// is chronological order.
+	shards := listCheckpoints(dir)
+	for i := 0; i < len(shards)-keepLast; i++ {
+		os.Remove(shards[i])
 	}
 	return nil
 }
@@ -265,17 +266,49 @@ func listCheckpoints(dir string) []string {
 	return matches
 }
 
-// loadLatestCheckpoint restores the newest valid shard in dir, verifying
-// integrity, fingerprint and language identity. Returns (nil, nil) when dir
-// holds no checkpoint. A shard for a different corpus or configuration is
-// an error, not a silent restart — losing hours of counting silently would
-// be worse than asking the operator to clear the directory.
-func loadLatestCheckpoint(dir, fingerprint string, langs []pattern.Language) (*checkpoint, error) {
+// loadLatestCheckpoint restores the newest *valid* shard in dir, verifying
+// integrity, fingerprint and language identity. A CRC-corrupt or truncated
+// shard — the signature of a torn write or bit rot — is skipped and the
+// next-oldest shard is tried; the skipped paths are returned so the caller
+// can surface them. Returns (nil, skipped, nil) when dir holds no
+// checkpoint, and an error when every shard is corrupt (resuming from
+// nothing would silently discard acknowledged progress).
+//
+// A shard for a different corpus or configuration stays a hard error, not a
+// fallback candidate: that is operator error, and losing hours of counting
+// silently would be worse than asking the operator to clear the directory.
+func loadLatestCheckpoint(dir, fingerprint string, langs []pattern.Language) (*checkpoint, []string, error) {
 	shards := listCheckpoints(dir)
 	if len(shards) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
-	path := shards[len(shards)-1]
+	var skipped []string
+	for i := len(shards) - 1; i >= 0; i-- {
+		path := shards[i]
+		c, err := readCheckpoint(path)
+		if err != nil {
+			// Integrity failure: fall back to the previous shard.
+			skipped = append(skipped, path)
+			continue
+		}
+		if c.fingerprint != fingerprint {
+			return nil, skipped, fmt.Errorf("pipeline: checkpoint %s was built over a different corpus or configuration; remove it (or point -checkpoint elsewhere) to start fresh", path)
+		}
+		if len(c.stats) != len(langs) {
+			return nil, skipped, fmt.Errorf("pipeline: checkpoint %s covers %d languages, expected %d", path, len(c.stats), len(langs))
+		}
+		for j, ls := range c.stats {
+			if ls.Language().ID != langs[j].ID {
+				return nil, skipped, fmt.Errorf("pipeline: checkpoint %s language %d mismatch", path, j)
+			}
+		}
+		return c, skipped, nil
+	}
+	return nil, skipped, fmt.Errorf("pipeline: all %d checkpoint shards in %s are corrupt or truncated; remove them to restart from scratch", len(shards), dir)
+}
+
+// readCheckpoint loads and integrity-checks a single shard file.
+func readCheckpoint(path string) (*checkpoint, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %w", err)
@@ -288,17 +321,6 @@ func loadLatestCheckpoint(dir, fingerprint string, langs []pattern.Language) (*c
 	c, err := unmarshalCheckpoint(payload)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: checkpoint %s: %w", path, err)
-	}
-	if c.fingerprint != fingerprint {
-		return nil, fmt.Errorf("pipeline: checkpoint %s was built over a different corpus or configuration; remove it (or point -checkpoint elsewhere) to start fresh", path)
-	}
-	if len(c.stats) != len(langs) {
-		return nil, fmt.Errorf("pipeline: checkpoint %s covers %d languages, expected %d", path, len(c.stats), len(langs))
-	}
-	for i, ls := range c.stats {
-		if ls.Language().ID != langs[i].ID {
-			return nil, fmt.Errorf("pipeline: checkpoint %s language %d mismatch", path, i)
-		}
 	}
 	return c, nil
 }

@@ -84,3 +84,68 @@ func (m *pipelineMetrics) buildDone() {
 		m.builds.Inc()
 	}
 }
+
+// sourceMetrics are the ingestion-side fault-tolerance families: budget
+// burn (files skipped, columns quarantined), retry pressure, and per-file
+// open/parse latency. Attached to fault-tolerant sources (DirSource) by
+// Run, so /metrics shows budget consumption live during a build.
+type sourceMetrics struct {
+	filesSkipped *observe.Counter   // autodetect_pipeline_files_skipped_total
+	colsQuar     *observe.Counter   // autodetect_pipeline_columns_quarantined_total
+	ioRetries    *observe.Counter   // autodetect_pipeline_io_retries_total
+	openSecs     *observe.Histogram // autodetect_pipeline_file_open_seconds
+	parseSecs    *observe.Histogram // autodetect_pipeline_file_parse_seconds
+}
+
+func newSourceMetrics(reg *observe.Registry) *sourceMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &sourceMetrics{
+		filesSkipped: reg.Counter("autodetect_pipeline_files_skipped_total",
+			"Table files skipped after quarantine (unreadable or unparseable past the retry policy)."),
+		colsQuar: reg.Counter("autodetect_pipeline_columns_quarantined_total",
+			"Individual columns quarantined for failing ingestion validation (binary garbage, mega-columns)."),
+		ioRetries: reg.Counter("autodetect_pipeline_io_retries_total",
+			"Transient I/O retries performed while opening/parsing table files."),
+		openSecs: reg.Histogram("autodetect_pipeline_file_open_seconds",
+			"Latency of table file open attempts.", observe.DefBuckets),
+		parseSecs: reg.Histogram("autodetect_pipeline_file_parse_seconds",
+			"Latency of table file parse attempts (read+close).", observe.DefBuckets),
+	}
+}
+
+// fileSkipped counts one quarantined file; nil-safe.
+func (m *sourceMetrics) fileSkipped() {
+	if m != nil {
+		m.filesSkipped.Inc()
+	}
+}
+
+// columnQuarantined counts one quarantined column; nil-safe.
+func (m *sourceMetrics) columnQuarantined() {
+	if m != nil {
+		m.colsQuar.Inc()
+	}
+}
+
+// ioRetry counts one transient-I/O retry; nil-safe.
+func (m *sourceMetrics) ioRetry() {
+	if m != nil {
+		m.ioRetries.Inc()
+	}
+}
+
+// openDuration records one open attempt's latency; nil-safe.
+func (m *sourceMetrics) openDuration(d time.Duration) {
+	if m != nil {
+		m.openSecs.Observe(d.Seconds())
+	}
+}
+
+// parseDuration records one parse attempt's latency; nil-safe.
+func (m *sourceMetrics) parseDuration(d time.Duration) {
+	if m != nil {
+		m.parseSecs.Observe(d.Seconds())
+	}
+}

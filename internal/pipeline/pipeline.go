@@ -64,6 +64,10 @@ type Options struct {
 	// KeepCheckpoints leaves the final checkpoint shard on disk after a
 	// successful build instead of consuming it.
 	KeepCheckpoints bool
+	// KeepLastCheckpoints is how many newest checkpoint shards survive
+	// pruning (default 3). Keeping several is what allows resume to fall
+	// back past a torn or bit-rotted newest shard.
+	KeepLastCheckpoints int
 	// Progress, when set, receives throughput snapshots every
 	// ProgressEvery (default 2s) during counting plus one per stage
 	// transition. Called from pipeline goroutines.
@@ -92,6 +96,12 @@ type Result struct {
 	ResumedColumns uint64
 	// CheckpointsWritten counts shards persisted during this run.
 	CheckpointsWritten int
+	// CorruptCheckpointsSkipped counts integrity-failed shards that resume
+	// fell back past (torn writes, bit rot).
+	CorruptCheckpointsSkipped int
+	// FilesSkipped and ColumnsQuarantined report the error-budget spend of
+	// fault-tolerant sources (zero for sources without a budget).
+	FilesSkipped, ColumnsQuarantined uint64
 	// Stages holds per-stage wall-clock timings in execution order.
 	Stages []StageTiming
 	// Elapsed is the total build time of this run.
@@ -161,8 +171,21 @@ func Run(ctx context.Context, src ColumnSource, opts Options) (*Result, error) {
 		startTime: startTime,
 		progress:  opts.Progress,
 	}
+	b.keepLast = opts.KeepLastCheckpoints
 	b.met = newPipelineMetrics(opts.Metrics)
 	b.met.setWorkers(workers)
+	// Fault-tolerant sources get the build context (so retry backoffs abort
+	// on cancellation) and the metrics registry (so budget burn is visible
+	// on /metrics while the build runs).
+	if bc, ok := src.(interface{ BindContext(context.Context) }); ok {
+		bc.BindContext(ctx)
+	}
+	if am, ok := src.(interface{ AttachMetrics(*sourceMetrics) }); ok {
+		am.AttachMetrics(newSourceMetrics(opts.Metrics))
+	}
+	if cl, ok := src.(io.Closer); ok {
+		defer cl.Close()
+	}
 	b.fingerprint = buildFingerprint(src, langs, tc.Smoothing, opts.SampleColumns, ds.Seed)
 	b.base = make([]*stats.LanguageStats, len(langs))
 	for i, l := range langs {
@@ -170,12 +193,14 @@ func Run(ctx context.Context, src ColumnSource, opts Options) (*Result, error) {
 	}
 	b.rv = &reservoir{cap: opts.SampleColumns, seed: uint64(ds.Seed)}
 
-	// Resume from the latest valid shard, if any.
+	// Resume from the newest valid shard, falling back past torn or
+	// corrupted ones.
 	if b.ckptDir != "" {
-		ck, err := loadLatestCheckpoint(b.ckptDir, b.fingerprint, langs)
+		ck, corrupt, err := loadLatestCheckpoint(b.ckptDir, b.fingerprint, langs)
 		if err != nil {
 			return nil, err
 		}
+		b.corruptSkipped = len(corrupt)
 		if ck != nil {
 			b.base = ck.stats
 			b.rv = ck.rv
@@ -257,16 +282,21 @@ func Run(ctx context.Context, src ColumnSource, opts Options) (*Result, error) {
 	if b.ckptDir != "" && !opts.KeepCheckpoints {
 		removeCheckpoints(b.ckptDir)
 	}
-	return &Result{
-		Detector:           det,
-		Report:             report,
-		Columns:            b.columns.Load(),
-		Values:             b.values.Load(),
-		ResumedColumns:     b.resumed,
-		CheckpointsWritten: b.checkpointsWritten(),
-		Stages:             b.clock.timings(),
-		Elapsed:            time.Since(startTime),
-	}, nil
+	res := &Result{
+		Detector:                  det,
+		Report:                    report,
+		Columns:                   b.columns.Load(),
+		Values:                    b.values.Load(),
+		ResumedColumns:            b.resumed,
+		CheckpointsWritten:        b.checkpointsWritten(),
+		CorruptCheckpointsSkipped: b.corruptSkipped,
+		Stages:                    b.clock.timings(),
+		Elapsed:                   time.Since(startTime),
+	}
+	if q, ok := src.(interface{ Quarantined() (uint64, uint64) }); ok {
+		res.FilesSkipped, res.ColumnsQuarantined = q.Quarantined()
+	}
+	return res, nil
 }
 
 // build carries the state of one Run.
@@ -283,9 +313,12 @@ type build struct {
 	base []*stats.LanguageStats
 	rv   *reservoir
 
+	keepLast int
+
 	columns, values atomic.Uint64
 	resumed         uint64
 	ckptsWritten    int
+	corruptSkipped  int
 
 	clock     *stageClock
 	met       *pipelineMetrics
@@ -451,6 +484,14 @@ func (b *build) count(ctx context.Context) error {
 		b.addStage(StageMerge, time.Since(mergeStart))
 		b.met.progress(b.columns.Load(), b.values.Load())
 
+		// A context-aware source (DirSource aborts retry backoffs on
+		// cancellation) reports the build's own cancellation as a read
+		// error; fold that back into the cancelled path so the final
+		// checkpoint is still written.
+		if srcErr != nil && ctx.Err() != nil && errors.Is(srcErr, ctx.Err()) {
+			cancelled = true
+			srcErr = nil
+		}
 		if srcErr != nil {
 			return fmt.Errorf("pipeline: reading source: %w", srcErr)
 		}
@@ -464,7 +505,7 @@ func (b *build) count(ctx context.Context) error {
 				values:      b.values.Load(),
 				rv:          b.rv,
 				stats:       b.base,
-			}); err != nil {
+			}, b.keepLast); err != nil {
 				return err
 			}
 			b.noteCheckpoint()

@@ -1,14 +1,20 @@
 package pipeline
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/retry"
 )
 
 // A ColumnSource streams corpus columns one at a time, so the pipeline can
@@ -104,9 +110,74 @@ func (g *GeneratedSource) Fingerprint() string {
 	return sb.String()
 }
 
+// ErrBudgetExhausted is returned (wrapped, with the tally) when a DirSource
+// has quarantined more files/columns than its error budget allows. At that
+// point the corpus is presumed systematically broken — wrong delimiter,
+// wrong directory, dying disk — and aborting beats silently training on a
+// sliver of the data.
+var ErrBudgetExhausted = errors.New("pipeline: error budget exhausted")
+
+// DirConfig parameterizes a fault-tolerant DirSource.
+type DirConfig struct {
+	// HasHeader marks the first row of each table as a header.
+	HasHeader bool
+	// Retry is the transient-I/O retry policy (zero value: retry.Policy
+	// defaults — 3 attempts, 50ms base backoff capped at 2s).
+	Retry retry.Policy
+	// MaxBadFiles is the absolute error budget: how many files/columns may
+	// be quarantined before the build aborts.
+	MaxBadFiles int
+	// MaxBadFrac is the fractional error budget, as a fraction of the
+	// scanned file count. The effective budget is
+	// max(MaxBadFiles, MaxBadFrac×files); with both zero any persistent
+	// failure aborts the build (the pre-fault-tolerance behavior).
+	MaxBadFrac float64
+	// QuarantineDir, when set, receives quarantine.jsonl — one JSON line
+	// per quarantined file or column (path, error, byte offset). On
+	// construction an existing manifest is reloaded and its files are
+	// pre-skipped, so a resumed build sees the identical column stream
+	// even when the original failures were load-order dependent.
+	QuarantineDir string
+	// Open replaces os.Open — the injection point for the faultfs chaos
+	// harness. Nil means the real filesystem.
+	Open func(path string) (io.ReadCloser, error)
+	// MaxColumnCells quarantines any single column larger than this many
+	// cells (default 1<<22): a mega-column is almost always a parse
+	// artifact, and one of them can dominate the statistics of an entire
+	// shard. Negative disables the guard.
+	MaxColumnCells int
+}
+
+const defaultMaxColumnCells = 1 << 22
+
+// quarantineManifest is the file name written under DirConfig.QuarantineDir.
+const quarantineManifest = "quarantine.jsonl"
+
+// QuarantineEntry is one line of the quarantine manifest.
+type QuarantineEntry struct {
+	// Kind is "file" (whole table quarantined) or "column".
+	Kind string `json:"kind"`
+	// Path is the table path relative to the source root.
+	Path string `json:"path"`
+	// Column is the column index within the file (kind=column).
+	Column int `json:"column"`
+	// Name is the column name (kind=column).
+	Name string `json:"name,omitempty"`
+	// Error is the failure that caused the quarantine.
+	Error string `json:"error"`
+	// Offset is the byte offset of a parse failure, when known.
+	Offset int64 `json:"offset,omitempty"`
+}
+
 // DirSource streams the columns of every CSV/TSV file under a directory
 // (sorted by path for determinism), one file at a time — only a single
 // table is ever resident. Hidden files and unknown extensions are skipped.
+//
+// Ingestion is fault-tolerant: transient open/read errors (EAGAIN, EINTR,
+// stale NFS handles, injected faults, ...) are retried with capped
+// exponential backoff, persistently-failing files and garbage columns are
+// quarantined under the configured error budget, and every quarantine is
+// recorded in the manifest so operators can triage after the build.
 type DirSource struct {
 	dir       string
 	hasHeader bool
@@ -114,11 +185,52 @@ type DirSource struct {
 	sizes     []int64
 	fileIdx   int
 	pending   []*corpus.Column
+
+	cfg      DirConfig
+	open     func(string) (io.ReadCloser, error)
+	pol      retry.Policy
+	maxCells int
+	budget   int
+	ctx      context.Context
+	met      *sourceMetrics
+
+	budgetUsed     int
+	skippedFiles   uint64
+	quarCols       uint64
+	retries        uint64
+	preskip        map[string]bool // rel paths quarantined by an earlier run
+	seenFileQuar   map[string]bool
+	seenColumnQuar map[string]bool
+	manifest       *os.File
 }
 
-// NewDirSource scans dir (recursively) for .csv and .tsv files.
+// NewDirSource scans dir (recursively) for .csv and .tsv files with the
+// default (zero-tolerance, no-retry-policy-overrides) configuration.
 func NewDirSource(dir string, hasHeader bool) (*DirSource, error) {
-	s := &DirSource{dir: dir, hasHeader: hasHeader}
+	return NewDirSourceWith(dir, DirConfig{HasHeader: hasHeader})
+}
+
+// NewDirSourceWith scans dir (recursively) for .csv and .tsv files under
+// the given fault-tolerance configuration.
+func NewDirSourceWith(dir string, cfg DirConfig) (*DirSource, error) {
+	s := &DirSource{
+		dir:            dir,
+		hasHeader:      cfg.HasHeader,
+		cfg:            cfg,
+		pol:            cfg.Retry,
+		ctx:            context.Background(),
+		preskip:        map[string]bool{},
+		seenFileQuar:   map[string]bool{},
+		seenColumnQuar: map[string]bool{},
+	}
+	s.open = cfg.Open
+	if s.open == nil {
+		s.open = func(path string) (io.ReadCloser, error) { return os.Open(path) }
+	}
+	s.maxCells = cfg.MaxColumnCells
+	if s.maxCells == 0 {
+		s.maxCells = defaultMaxColumnCells
+	}
 	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
 		if err != nil {
 			return err
@@ -141,13 +253,110 @@ func NewDirSource(dir string, hasHeader bool) (*DirSource, error) {
 	}
 	// Walk already yields lexical order; keep the invariant explicit.
 	sort.Strings(s.files)
+
+	s.budget = cfg.MaxBadFiles
+	if frac := int(cfg.MaxBadFrac * float64(len(s.files))); frac > s.budget {
+		s.budget = frac
+	}
+	if cfg.QuarantineDir != "" {
+		if err := s.openManifest(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
+
+// openManifest loads any existing quarantine manifest (restoring the budget
+// spend and the pre-skip set of a resumed build) and opens it for append.
+func (s *DirSource) openManifest() error {
+	if err := os.MkdirAll(s.cfg.QuarantineDir, 0o755); err != nil {
+		return fmt.Errorf("pipeline: quarantine dir: %w", err)
+	}
+	path := filepath.Join(s.cfg.QuarantineDir, quarantineManifest)
+	if data, err := os.ReadFile(path); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			var e QuarantineEntry
+			// A torn final line (crash mid-append) is skipped, not fatal.
+			if json.Unmarshal([]byte(line), &e) != nil {
+				continue
+			}
+			switch e.Kind {
+			case "file":
+				if !s.seenFileQuar[e.Path] {
+					s.seenFileQuar[e.Path] = true
+					s.preskip[e.Path] = true
+					s.budgetUsed++
+				}
+			case "column":
+				key := fmt.Sprintf("%s#%d", e.Path, e.Column)
+				if !s.seenColumnQuar[key] {
+					s.seenColumnQuar[key] = true
+					s.budgetUsed++
+				}
+			}
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("pipeline: reading quarantine manifest: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("pipeline: quarantine manifest: %w", err)
+	}
+	s.manifest = f
+	return nil
+}
+
+// BindContext attaches the build's context so retry backoff sleeps abort
+// promptly on cancellation. Run calls this before counting starts.
+func (s *DirSource) BindContext(ctx context.Context) {
+	if ctx != nil {
+		s.ctx = ctx
+	}
+}
+
+// AttachMetrics wires the source's skip/quarantine/retry counters and
+// per-file duration histograms onto the registry. Run calls this when
+// Options.Metrics is set.
+func (s *DirSource) AttachMetrics(met *sourceMetrics) { s.met = met }
 
 // Files returns how many table files the source covers.
 func (s *DirSource) Files() int { return len(s.files) }
 
-// Next implements ColumnSource.
+// Quarantined reports how many files were skipped and how many individual
+// columns were quarantined so far (including manifest-restored ones once
+// their file is reached).
+func (s *DirSource) Quarantined() (files, columns uint64) {
+	return s.skippedFiles, s.quarCols
+}
+
+// Close releases the quarantine manifest handle. The pipeline closes
+// sources it recognizes after a build; a DirSource abandoned mid-stream
+// leaks only one descriptor.
+func (s *DirSource) Close() error {
+	if s.manifest != nil {
+		err := s.manifest.Close()
+		s.manifest = nil
+		return err
+	}
+	return nil
+}
+
+// rel maps an absolute table path to its manifest key.
+func (s *DirSource) rel(path string) string {
+	r, err := filepath.Rel(s.dir, path)
+	if err != nil {
+		return path
+	}
+	return filepath.ToSlash(r)
+}
+
+// Next implements ColumnSource. Each call drains the quarantine-filtered
+// columns of the current table before moving to the next file; a file that
+// cannot be read after retries is quarantined and the stream continues,
+// unless the error budget is exhausted.
 func (s *DirSource) Next() (*corpus.Column, error) {
 	for len(s.pending) == 0 {
 		if s.fileIdx >= len(s.files) {
@@ -155,30 +364,203 @@ func (s *DirSource) Next() (*corpus.Column, error) {
 		}
 		path := s.files[s.fileIdx]
 		s.fileIdx++
-		f, err := os.Open(path)
+		rel := s.rel(path)
+		if s.preskip[rel] {
+			// Quarantined by an earlier run of this build; already counted
+			// against the budget at manifest load.
+			s.skippedFiles++
+			s.met.fileSkipped()
+			continue
+		}
+		cols, err := s.readFile(path)
 		if err != nil {
-			return nil, fmt.Errorf("pipeline: %w", err)
+			if qerr := s.quarantineFile(rel, err); qerr != nil {
+				return nil, qerr
+			}
+			continue
 		}
-		comma := ','
-		if strings.EqualFold(filepath.Ext(path), ".tsv") {
-			comma = '\t'
+		kept := cols[:0]
+		for i, c := range cols {
+			if verr := validateColumn(c, s.maxCells); verr != nil {
+				if qerr := s.quarantineColumn(rel, i, c.Name, verr); qerr != nil {
+					return nil, qerr
+				}
+				continue
+			}
+			kept = append(kept, c)
 		}
-		cols, err := corpus.ReadTable(f, comma, s.hasHeader)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: %s: %w", path, err)
-		}
-		s.pending = cols
+		s.pending = kept
 	}
 	c := s.pending[0]
 	s.pending = s.pending[1:]
 	return c, nil
 }
 
+// readFile opens and parses one table under the retry policy: any attempt
+// that fails with a transient error (including a transient read error
+// surfacing through the CSV parser, or a failed Close that may indicate a
+// truncated readahead) is re-opened and re-parsed from scratch.
+func (s *DirSource) readFile(path string) ([]*corpus.Column, error) {
+	comma := ','
+	if strings.EqualFold(filepath.Ext(path), ".tsv") {
+		comma = '\t'
+	}
+	pol := s.pol
+	userOnRetry := pol.OnRetry
+	pol.OnRetry = func(attempt int, err error, backoff time.Duration) {
+		s.retries++
+		s.met.ioRetry()
+		if userOnRetry != nil {
+			userOnRetry(attempt, err, backoff)
+		}
+	}
+	var cols []*corpus.Column
+	err := pol.Do(s.ctx, func() error {
+		cols = nil
+		t0 := time.Now()
+		f, err := s.open(path)
+		s.met.openDuration(time.Since(t0))
+		if err != nil {
+			return err
+		}
+		t0 = time.Now()
+		cols, err = corpus.ReadTable(f, comma, s.hasHeader)
+		cerr := f.Close()
+		s.met.parseDuration(time.Since(t0))
+		if err != nil {
+			cols = nil
+			return err
+		}
+		if cerr != nil {
+			// A close error on the read path can mean the kernel could not
+			// complete readahead; the parse result is suspect, so retry the
+			// whole file rather than silently trusting it.
+			cols = nil
+			return fmt.Errorf("pipeline: closing %s: %w", path, cerr)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// validateColumn screens one parsed column for binary garbage that would
+// poison corpus statistics.
+func validateColumn(c *corpus.Column, maxCells int) error {
+	if maxCells > 0 && len(c.Values) > maxCells {
+		return fmt.Errorf("column has %d cells, cap is %d (mega-column, likely a delimiter artifact)", len(c.Values), maxCells)
+	}
+	for _, v := range c.Values {
+		if strings.IndexByte(v, 0) >= 0 {
+			return errors.New("NUL byte in cell value (binary content)")
+		}
+	}
+	return nil
+}
+
+// quarantineFile records a persistently-unreadable table and spends one
+// budget unit. The returned error is non-nil only when the budget is gone
+// or the manifest itself cannot be written.
+func (s *DirSource) quarantineFile(rel string, cause error) error {
+	s.skippedFiles++
+	s.met.fileSkipped()
+	entry := QuarantineEntry{Kind: "file", Path: rel, Error: cause.Error()}
+	var pe *corpus.ParseError
+	if errors.As(cause, &pe) {
+		entry.Offset = pe.Offset
+	}
+	if !s.seenFileQuar[rel] {
+		s.seenFileQuar[rel] = true
+		s.budgetUsed++
+		if err := s.appendManifest(entry); err != nil {
+			return err
+		}
+	}
+	return s.checkBudget(cause)
+}
+
+// quarantineColumn records one garbage column and spends one budget unit.
+func (s *DirSource) quarantineColumn(rel string, idx int, name string, cause error) error {
+	s.quarCols++
+	s.met.columnQuarantined()
+	key := fmt.Sprintf("%s#%d", rel, idx)
+	if !s.seenColumnQuar[key] {
+		s.seenColumnQuar[key] = true
+		s.budgetUsed++
+		if err := s.appendManifest(QuarantineEntry{
+			Kind: "column", Path: rel, Column: idx, Name: name, Error: cause.Error(),
+		}); err != nil {
+			return err
+		}
+	}
+	return s.checkBudget(cause)
+}
+
+// checkBudget fails the stream once quarantines exceed the configured
+// allowance, wrapping the error that tipped it over.
+func (s *DirSource) checkBudget(cause error) error {
+	if s.budgetUsed > s.budget {
+		return fmt.Errorf("%w: %d files/columns quarantined, budget is %d (last: %v)",
+			ErrBudgetExhausted, s.budgetUsed, s.budget, cause)
+	}
+	return nil
+}
+
+// appendManifest durably appends one entry; each line is synced so a crash
+// immediately after a quarantine decision cannot forget it (forgetting
+// would shift the resumed column stream against the checkpoint).
+func (s *DirSource) appendManifest(e QuarantineEntry) error {
+	if s.manifest == nil {
+		return nil
+	}
+	blob, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("pipeline: quarantine manifest: %w", err)
+	}
+	if _, err := s.manifest.Write(append(blob, '\n')); err != nil {
+		return fmt.Errorf("pipeline: quarantine manifest: %w", err)
+	}
+	if err := s.manifest.Sync(); err != nil {
+		return fmt.Errorf("pipeline: quarantine manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadQuarantineManifest parses the manifest under a quarantine directory;
+// it tolerates a torn trailing line. Missing manifest yields (nil, nil).
+func ReadQuarantineManifest(quarantineDir string) ([]QuarantineEntry, error) {
+	f, err := os.Open(filepath.Join(quarantineDir, quarantineManifest))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []QuarantineEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var e QuarantineEntry
+		if json.Unmarshal(sc.Bytes(), &e) != nil {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
 // Fingerprint implements ColumnSource: the relative file list with sizes.
 // File contents are not hashed (that would cost a full extra read); a
 // same-size in-place edit between checkpoint and resume goes undetected,
-// which is documented in the resume semantics.
+// which is documented in the resume semantics. Quarantine decisions do not
+// enter the fingerprint: the scan list is the corpus identity, and the
+// manifest (reloaded on resume) keeps the delivered stream aligned.
 func (s *DirSource) Fingerprint() string {
 	var sb strings.Builder
 	sb.WriteString("dir:")

@@ -1,0 +1,219 @@
+// Package retry implements the capped-exponential-backoff retry policy the
+// training pipeline applies to transient I/O: a multi-hour corpus build over
+// an NFS mount or a busy disk must not abort because one open() returned
+// EAGAIN. Backoff jitter is derived from a seedable splitmix64 stream, so a
+// resumed build retries on exactly the same schedule as the original — a
+// property the chaos harness relies on when asserting byte-identical models.
+//
+// Error classification is explicit: errors are retried only when they are
+// provably transient (a known retryable errno, a deadline, or a value marked
+// with Transient). Everything else — os.ErrNotExist, permission errors,
+// malformed-file parse errors — fails fast, because retrying a deterministic
+// failure only delays the quarantine decision.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+	"time"
+)
+
+// Policy configures Do. The zero value is usable: DefaultAttempts attempts,
+// DefaultBaseDelay base backoff, DefaultMaxDelay cap, IsTransient
+// classification, real sleeping.
+type Policy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (default DefaultAttempts). 1 disables retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default
+	// DefaultBaseDelay); each subsequent retry doubles it up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default DefaultMaxDelay).
+	MaxDelay time.Duration
+	// Seed drives the deterministic jitter stream. Two Policies with the
+	// same Seed back off on the same schedule.
+	Seed uint64
+	// Classify reports whether an error is worth retrying (default
+	// IsTransient).
+	Classify func(error) bool
+	// Sleep waits out a backoff; tests inject it to run instantly. The
+	// default honors context cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// OnRetry, when set, observes each scheduled retry (attempt is the
+	// 1-based attempt that just failed).
+	OnRetry func(attempt int, err error, backoff time.Duration)
+}
+
+// Defaults for the zero Policy.
+const (
+	DefaultAttempts  = 3
+	DefaultBaseDelay = 50 * time.Millisecond
+	DefaultMaxDelay  = 2 * time.Second
+)
+
+// Do runs op until it succeeds, returns a non-retryable error, exhausts
+// MaxAttempts, or the context is cancelled. The returned error is the last
+// error from op (wrapped with the attempt count when attempts were
+// exhausted), or the context error when cancelled mid-backoff.
+func (p Policy) Do(ctx context.Context, op func() error) error {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultAttempts
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = DefaultMaxDelay
+	}
+	classify := p.Classify
+	if classify == nil {
+		classify = IsTransient
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+		if !classify(err) {
+			return err
+		}
+		if attempt >= attempts {
+			return fmt.Errorf("retry: %d attempts exhausted: %w", attempts, err)
+		}
+		d := backoff(base, maxd, attempt, p.Seed)
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err, d)
+		}
+		if serr := sleep(ctx, d); serr != nil {
+			return serr
+		}
+	}
+}
+
+// backoff computes the capped exponential delay for the retry after the
+// given 1-based failed attempt, with deterministic "equal jitter": half the
+// window is guaranteed, the other half is drawn from splitmix64(seed,
+// attempt) — so concurrent retriers with different seeds decorrelate while
+// a reseeded rerun reproduces its schedule exactly.
+func backoff(base, maxd time.Duration, attempt int, seed uint64) time.Duration {
+	d := base << (attempt - 1)
+	if d <= 0 || d > maxd { // shift overflow or past the cap
+		d = maxd
+	}
+	half := d / 2
+	r := splitmix64(seed ^ (uint64(attempt) * 0x9e3779b97f4a7c15))
+	return half + time.Duration(r%uint64(half+1))
+}
+
+// splitmix64 is the finalizer behind the jitter stream (same construction
+// as the pipeline reservoir's replacement decisions).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// sleepCtx is the default Sleep: a timer that aborts on cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// transientMarker tags an error as retryable regardless of its type.
+type transientMarker struct{ err error }
+
+func (t *transientMarker) Error() string { return t.err.Error() }
+func (t *transientMarker) Unwrap() error { return t.err }
+
+// permanentMarker tags an error as never-retryable.
+type permanentMarker struct{ err error }
+
+func (p *permanentMarker) Error() string { return p.err.Error() }
+func (p *permanentMarker) Unwrap() error { return p.err }
+
+// Transient marks err as retryable: IsTransient returns true for it and
+// anything wrapping it. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientMarker{err}
+}
+
+// Permanent marks err as non-retryable even if its underlying cause would
+// otherwise classify as transient. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentMarker{err}
+}
+
+// retryableErrnos are the syscall errors worth a second chance: interrupted
+// or would-block calls, resource exhaustion that drains (file tables),
+// timeouts, connection resets, stale NFS handles and plain EIO (which on
+// network filesystems is routinely transient).
+var retryableErrnos = []syscall.Errno{
+	syscall.EINTR,
+	syscall.EAGAIN,
+	syscall.EBUSY,
+	syscall.ETIMEDOUT,
+	syscall.ECONNRESET,
+	syscall.ESTALE,
+	syscall.EIO,
+	syscall.ENFILE,
+	syscall.EMFILE,
+}
+
+// IsTransient is the default error classifier: true for values marked with
+// Transient, deadline expiries, and the retryable errno set; false for
+// values marked with Permanent, for definitive filesystem answers
+// (not-exist, permission, invalid), for context errors, and for anything
+// unrecognized — unknown failures are treated as real, not retried into.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var pm *permanentMarker
+	if errors.As(err, &pm) {
+		return false
+	}
+	var tm *transientMarker
+	if errors.As(err, &tm) {
+		return true
+	}
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false
+	case errors.Is(err, os.ErrNotExist), errors.Is(err, os.ErrPermission), errors.Is(err, os.ErrInvalid):
+		return false
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		return true
+	}
+	for _, errno := range retryableErrnos {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}

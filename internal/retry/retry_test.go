@@ -1,0 +1,167 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// instant makes a Policy that records backoffs instead of sleeping.
+func instant(p Policy, slept *[]time.Duration) Policy {
+	p.Sleep = func(_ context.Context, d time.Duration) error {
+		*slept = append(*slept, d)
+		return nil
+	}
+	return p
+}
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	var slept []time.Duration
+	p := instant(Policy{MaxAttempts: 5}, &slept)
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want nil", err)
+	}
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3", calls)
+	}
+	if len(slept) != 2 {
+		t.Errorf("slept %d times, want 2", len(slept))
+	}
+}
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	var slept []time.Duration
+	p := instant(Policy{MaxAttempts: 5}, &slept)
+	calls := 0
+	permanent := errors.New("no such corpus")
+	err := p.Do(context.Background(), func() error {
+		calls++
+		return permanent
+	})
+	if !errors.Is(err, permanent) {
+		t.Fatalf("Do = %v, want the permanent error", err)
+	}
+	if calls != 1 {
+		t.Errorf("op ran %d times, want 1 (no retry of permanent errors)", calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	var slept []time.Duration
+	p := instant(Policy{MaxAttempts: 3}, &slept)
+	calls := 0
+	base := Transient(errors.New("still flaky"))
+	err := p.Do(context.Background(), func() error { calls++; return base })
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Errorf("exhaustion error %v does not wrap the last failure", err)
+	}
+}
+
+func TestDoHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Policy{MaxAttempts: 5}
+	err := p.Do(ctx, func() error { return Transient(errors.New("x")) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+}
+
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	p1 := Policy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond, Seed: 42}
+	p2 := Policy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond, Seed: 42}
+	var s1, s2 []time.Duration
+	fail := func() error { return Transient(errors.New("x")) }
+	_ = instant(p1, &s1).Do(context.Background(), fail)
+	_ = instant(p2, &s2).Do(context.Background(), fail)
+	if len(s1) != 5 || len(s2) != 5 {
+		t.Fatalf("expected 5 backoffs, got %d and %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Errorf("backoff %d: %v vs %v — same seed must give same schedule", i, s1[i], s2[i])
+		}
+		if s1[i] > 40*time.Millisecond {
+			t.Errorf("backoff %d = %v exceeds MaxDelay", i, s1[i])
+		}
+		if s1[i] <= 0 {
+			t.Errorf("backoff %d = %v, want positive", i, s1[i])
+		}
+	}
+	// A different seed should (overwhelmingly) produce a different schedule.
+	var s3 []time.Duration
+	p3 := Policy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond, Seed: 43}
+	_ = instant(p3, &s3).Do(context.Background(), fail)
+	same := true
+	for i := range s1 {
+		if s1[i] != s3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter schedules")
+	}
+}
+
+func TestOnRetryObservesAttempts(t *testing.T) {
+	var attempts []int
+	var slept []time.Duration
+	p := instant(Policy{MaxAttempts: 3, OnRetry: func(a int, _ error, _ time.Duration) {
+		attempts = append(attempts, a)
+	}}, &slept)
+	_ = p.Do(context.Background(), func() error { return Transient(errors.New("x")) })
+	if len(attempts) != 2 || attempts[0] != 1 || attempts[1] != 2 {
+		t.Errorf("OnRetry saw attempts %v, want [1 2]", attempts)
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("anonymous"), false},
+		{Transient(errors.New("x")), true},
+		{fmt.Errorf("wrapped: %w", Transient(errors.New("x"))), true},
+		{Permanent(syscall.EAGAIN), false},
+		{syscall.EAGAIN, true},
+		{syscall.EINTR, true},
+		{syscall.ESTALE, true},
+		{syscall.EIO, true},
+		{syscall.EMFILE, true},
+		{&os.PathError{Op: "open", Path: "x", Err: syscall.EBUSY}, true},
+		{&os.PathError{Op: "open", Path: "x", Err: syscall.ENOENT}, false},
+		{os.ErrNotExist, false},
+		{os.ErrPermission, false},
+		{os.ErrDeadlineExceeded, true},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestTransientPermanentNilPassthrough(t *testing.T) {
+	if Transient(nil) != nil || Permanent(nil) != nil {
+		t.Error("markers must pass nil through")
+	}
+}
