@@ -101,7 +101,7 @@ func cmdTrain(args []string) error {
 	maxBadFiles := fs.Int("max-bad-files", 0, "quarantine up to N unreadable/unparseable table files instead of failing (-dir)")
 	maxBadFrac := fs.Float64("max-bad-frac", 0, "quarantine up to this fraction of table files instead of failing (-dir)")
 	quarantineDir := fs.String("quarantine-dir", "", "directory for the quarantine manifest (quarantine.jsonl); defaults to no manifest (-dir)")
-	ioRetries := fs.Int("io-retries", 3, "attempts per table file for transient I/O errors (-dir)")
+	ioRetries := fs.Int("io-retries", 3, "attempts per table file for transient I/O errors; 1 disables retrying (-dir)")
 	sample := fs.Int("sample", 0, "cap the distant-supervision column sample (0 = keep every column)")
 	pairs := fs.Int("pairs", 20000, "distant-supervision pairs per class")
 	budget := fs.Int("budget", 64, "memory budget in MB")
@@ -112,6 +112,11 @@ func cmdTrain(args []string) error {
 	}
 	if *dir != "" && *corpusPath != "" {
 		return fmt.Errorf("-dir and -corpus are mutually exclusive")
+	}
+	// retry.Policy treats MaxAttempts<=0 as "use the default", so 0 would
+	// silently mean 3 attempts; reject it rather than surprise the operator.
+	if *ioRetries < 1 {
+		return fmt.Errorf("-io-retries must be >= 1 (1 disables retrying)")
 	}
 
 	var src pipeline.ColumnSource

@@ -74,7 +74,7 @@ func main() {
 	maxBadFiles := flag.Int("max-bad-files", 0, "quarantine up to N unreadable/unparseable table files instead of failing (-train-dir)")
 	maxBadFrac := flag.Float64("max-bad-frac", 0, "quarantine up to this fraction of table files instead of failing (-train-dir)")
 	quarantineDir := flag.String("quarantine-dir", "", "directory for the quarantine manifest (quarantine.jsonl) when training from -train-dir")
-	ioRetries := flag.Int("io-retries", 3, "attempts per table file for transient I/O errors (-train-dir)")
+	ioRetries := flag.Int("io-retries", 3, "attempts per table file for transient I/O errors; 1 disables retrying (-train-dir)")
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 1, "random seed when -train is set")
 	maxInflight := flag.Int("max-inflight", 256, "concurrent requests before shedding with 429 (0 disables)")
@@ -93,6 +93,12 @@ func main() {
 	}
 	if *logFormat != "text" && *logFormat != "json" {
 		fmt.Fprintf(os.Stderr, "autodetectd: bad -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	// retry.Policy treats MaxAttempts<=0 as "use the default", so 0 would
+	// silently mean 3 attempts; reject it rather than surprise the operator.
+	if *ioRetries < 1 {
+		fmt.Fprintln(os.Stderr, "autodetectd: -io-retries must be >= 1 (1 disables retrying)")
 		os.Exit(2)
 	}
 	logger := observe.NewLogger(os.Stderr, observe.LogOptions{

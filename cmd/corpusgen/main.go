@@ -14,7 +14,7 @@
 package main
 
 import (
-	"bytes"
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -103,10 +103,20 @@ func writeSharded(next func() *corpus.Column, n int, dir string, colsPerFile int
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		fail(err)
 	}
-	// Ground truth is buffered and written atomically at the end: dirty
-	// cells are a small fraction of the corpus, and a half-written label
-	// file is worse than none.
-	var labelBuf bytes.Buffer
+	// Ground truth streams into a staged atomic write and is only published
+	// by the final Commit: nothing accumulates in memory (a large corpus can
+	// carry millions of dirty cells), yet a crash mid-generation still never
+	// leaves a half-written label file — only an invisible temp file.
+	var labelW *atomicio.Writer
+	var labelBuf *bufio.Writer
+	if labelsPath != "" {
+		var err error
+		if labelW, err = atomicio.Create(labelsPath, 0o644); err != nil {
+			fail(err)
+		}
+		defer labelW.Abort()
+		labelBuf = bufio.NewWriter(labelW)
+	}
 	written, values, dirtyCols, shards := 0, 0, 0, 0
 	for written < n {
 		take := colsPerFile
@@ -120,9 +130,11 @@ func writeSharded(next func() *corpus.Column, n int, dir string, colsPerFile int
 			if len(chunk[i].Dirty) > 0 {
 				dirtyCols++
 			}
-			if labelsPath != "" {
+			if labelBuf != nil {
 				for _, ri := range chunk[i].Dirty {
-					fmt.Fprintf(&labelBuf, "%d\t%d\t%s\n", written+i, ri, chunk[i].Values[ri])
+					if _, err := fmt.Fprintf(labelBuf, "%d\t%d\t%s\n", written+i, ri, chunk[i].Values[ri]); err != nil {
+						fail(err)
+					}
 				}
 			}
 		}
@@ -135,8 +147,11 @@ func writeSharded(next func() *corpus.Column, n int, dir string, colsPerFile int
 		written += take
 		shards++
 	}
-	if labelsPath != "" {
-		if err := atomicio.WriteFile(labelsPath, labelBuf.Bytes(), 0o644); err != nil {
+	if labelBuf != nil {
+		if err := labelBuf.Flush(); err != nil {
+			fail(err)
+		}
+		if err := labelW.Commit(); err != nil {
 			fail(err)
 		}
 		logger.Info("ground truth written", "labels", labelsPath)

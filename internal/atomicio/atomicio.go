@@ -22,41 +22,90 @@ import (
 	"path/filepath"
 )
 
-// WriteTo atomically replaces path with whatever write produces. The
-// callback receives a buffered writer backed by a temp file in path's
-// directory; on any failure the temp file is removed and the destination is
-// left untouched.
-func WriteTo(path string, perm os.FileMode, write func(io.Writer) error) (err error) {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+// A Writer stages an atomic replacement of its destination: writes stream
+// into a temp file in the destination's directory, and only Commit makes
+// them visible (fsync + rename + parent-dir fsync). Use it when the payload
+// is produced incrementally over a long span — e.g. corpusgen streaming
+// ground-truth labels as shards are generated — so nothing needs to be
+// buffered in memory while still never exposing a torn file. Abort (safe to
+// defer, a no-op after Commit) discards the staged content.
+type Writer struct {
+	tmp  *os.File
+	path string
+	perm os.FileMode
+	done bool
+}
+
+// Create stages an atomic write to path. The caller must finish with Commit
+// or Abort; until then the destination is untouched.
+func Create(path string, perm os.FileMode) (*Writer, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("atomicio: %w", err)
+		return nil, fmt.Errorf("atomicio: %w", err)
 	}
-	defer func() {
-		if err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	if err = write(tmp); err != nil {
+	return &Writer{tmp: tmp, path: path, perm: perm}, nil
+}
+
+// Write implements io.Writer, appending to the staged temp file.
+func (w *Writer) Write(p []byte) (int, error) { return w.tmp.Write(p) }
+
+// Commit durably publishes the staged content at the destination path.
+// The data is fsynced before the rename makes it reachable (otherwise a
+// crash can leave a fully-named empty file), and the parent directory is
+// synced after so the rename itself survives a power cut.
+func (w *Writer) Commit() error {
+	if w.done {
+		return fmt.Errorf("atomicio: Commit after Commit/Abort of %s", w.path)
+	}
+	w.done = true
+	fail := func(err error) error {
+		w.tmp.Close()
+		os.Remove(w.tmp.Name())
 		return err
 	}
-	if err = tmp.Chmod(perm); err != nil {
+	if err := w.tmp.Chmod(w.perm); err != nil {
+		return fail(fmt.Errorf("atomicio: %w", err))
+	}
+	if err := w.tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("atomicio: fsync %s: %w", w.tmp.Name(), err))
+	}
+	if err := w.tmp.Close(); err != nil {
+		os.Remove(w.tmp.Name())
 		return fmt.Errorf("atomicio: %w", err)
 	}
-	// The data must be on stable storage before the rename makes it
-	// reachable; otherwise a crash can leave a fully-named empty file.
-	if err = tmp.Sync(); err != nil {
-		return fmt.Errorf("atomicio: fsync %s: %w", tmp.Name(), err)
-	}
-	if err = tmp.Close(); err != nil {
+	if err := os.Rename(w.tmp.Name(), w.path); err != nil {
+		os.Remove(w.tmp.Name())
 		return fmt.Errorf("atomicio: %w", err)
 	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("atomicio: %w", err)
-	}
-	syncDir(dir)
+	syncDir(filepath.Dir(w.path))
 	return nil
+}
+
+// Abort discards the staged content, leaving the destination untouched. It
+// is idempotent and a no-op after Commit, so it is safe to defer.
+func (w *Writer) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.tmp.Close()
+	os.Remove(w.tmp.Name())
+}
+
+// WriteTo atomically replaces path with whatever write produces. The
+// callback receives a writer backed by a temp file in path's directory; on
+// any failure the temp file is removed and the destination is left
+// untouched.
+func WriteTo(path string, perm os.FileMode, write func(io.Writer) error) error {
+	w, err := Create(path, perm)
+	if err != nil {
+		return err
+	}
+	defer w.Abort()
+	if err := write(w); err != nil {
+		return err
+	}
+	return w.Commit()
 }
 
 // WriteFile atomically replaces path with data (the durable counterpart of

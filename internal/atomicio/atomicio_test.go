@@ -82,6 +82,77 @@ func TestWriteToMissingDirectory(t *testing.T) {
 	}
 }
 
+func TestWriterStreamsAndCommits(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "labels.tsv")
+	w, err := Create(path, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Abort()
+	if _, err := io.WriteString(w, "1\t2\tx\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Staged content must be invisible until Commit.
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("destination visible before Commit (stat err = %v)", err)
+	}
+	if _, err := io.WriteString(w, "3\t4\ty\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "1\t2\tx\n3\t4\ty\n" {
+		t.Fatalf("read %q, want the streamed lines in order", got)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o600 {
+		t.Errorf("perm = %v, want 0600", fi.Mode().Perm())
+	}
+	// The deferred Abort after Commit must not remove the published file.
+	w.Abort()
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("Abort after Commit removed the published file: %v", err)
+	}
+}
+
+func TestWriterAbortLeavesDestinationUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out")
+	if err := WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Create(path, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w, "torn part"); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	w.Abort() // idempotent
+	if got, _ := os.ReadFile(path); string(got) != "precious" {
+		t.Fatalf("destination corrupted by aborted writer: %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s leaked after Abort", e.Name())
+		}
+	}
+}
+
 func TestWriteToStreamsLargePayload(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "big")

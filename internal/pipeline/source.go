@@ -301,6 +301,13 @@ func (s *DirSource) openManifest() error {
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("pipeline: reading quarantine manifest: %w", err)
 	}
+	// A resumed build whose restored spend already exceeds the (possibly
+	// lowered-via-flags) budget must fail fast here, not proceed over budget
+	// until the next fresh quarantine happens to trip checkBudget.
+	if s.budgetUsed > s.budget {
+		return fmt.Errorf("%w: quarantine manifest at %s restores %d quarantined files/columns, budget is %d",
+			ErrBudgetExhausted, path, s.budgetUsed, s.budget)
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("pipeline: quarantine manifest: %w", err)
@@ -374,6 +381,22 @@ func (s *DirSource) Next() (*corpus.Column, error) {
 		}
 		cols, err := s.readFile(path)
 		if err != nil {
+			// A cancelled build surfaces here as a context error:
+			// retry.Policy.Do returns ctx.Err() immediately once the context
+			// is done, including mid-backoff. That is the build stopping, not
+			// the file failing — quarantining it would permanently exclude a
+			// healthy file from every resume (the manifest pre-skips it) and,
+			// with a zero budget, mask the cancellation as ErrBudgetExhausted.
+			// Rewind so the file is re-read on resume and surface the
+			// cancellation so count() still writes its final checkpoint.
+			if cerr := s.ctx.Err(); cerr != nil {
+				s.fileIdx--
+				return nil, cerr
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.fileIdx--
+				return nil, err
+			}
 			if qerr := s.quarantineFile(rel, err); qerr != nil {
 				return nil, qerr
 			}
@@ -502,7 +525,7 @@ func (s *DirSource) quarantineColumn(rel string, idx int, name string, cause err
 // allowance, wrapping the error that tipped it over.
 func (s *DirSource) checkBudget(cause error) error {
 	if s.budgetUsed > s.budget {
-		return fmt.Errorf("%w: %d files/columns quarantined, budget is %d (last: %v)",
+		return fmt.Errorf("%w: %d files/columns quarantined, budget is %d (last: %w)",
 			ErrBudgetExhausted, s.budgetUsed, s.budget, cause)
 	}
 	return nil

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -128,6 +129,101 @@ func TestDirSourceBudgetExhaustionAborts(t *testing.T) {
 	}
 	if !errors.Is(lastErr, ErrBudgetExhausted) {
 		t.Fatalf("err = %v, want ErrBudgetExhausted", lastErr)
+	}
+	// The tipping cause must stay reachable through the budget wrapper so
+	// callers can still triage it with errors.Is/As.
+	if !errors.Is(lastErr, os.ErrPermission) {
+		t.Errorf("budget error severed the cause chain: %v", lastErr)
+	}
+}
+
+func TestDirSourceCancellationDoesNotQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.csv", "x\n1\n")
+	writeFile(t, dir, "b.csv", "y\n2\n")
+	qdir := t.TempDir()
+
+	// Zero budget: before the fix, a cancellation at a file boundary was
+	// quarantined and surfaced as ErrBudgetExhausted instead of Canceled.
+	src, err := NewDirSourceWith(dir, DirConfig{HasHeader: true, QuarantineDir: qdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	src.BindContext(ctx)
+
+	// Drain a.csv's single column so the pending buffer is empty and the
+	// next call lands exactly on the file boundary.
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	_, err = src.Next()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next after cancel = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("cancellation misreported as budget exhaustion: %v", err)
+	}
+	if files, cols := src.Quarantined(); files != 0 || cols != 0 {
+		t.Errorf("Quarantined() = (%d, %d) after cancellation, want (0, 0)", files, cols)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadQuarantineManifest(qdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("cancellation wrote quarantine entries: %+v", entries)
+	}
+
+	// A resumed source over the same quarantine dir must deliver both
+	// files: the cancelled run excluded nothing.
+	s2, err := NewDirSourceWith(dir, DirConfig{HasHeader: true, QuarantineDir: qdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := drain(t, s2); len(cols) != 2 {
+		t.Fatalf("resume streamed %d columns, want 2", len(cols))
+	}
+}
+
+func TestDirSourceResumeOverBudgetFailsFast(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.csv", "x\n1\n")
+	writeFile(t, dir, "b.csv", "y\n2\n")
+	writeFile(t, dir, "c.csv", "z\n3\n")
+	qdir := t.TempDir()
+
+	// Run 1 quarantines two files under a budget of 2.
+	open := func(path string) (io.ReadCloser, error) {
+		if strings.HasSuffix(path, "c.csv") {
+			return os.Open(path)
+		}
+		return nil, os.ErrPermission
+	}
+	s1, err := NewDirSourceWith(dir, DirConfig{HasHeader: true, Open: open, MaxBadFiles: 2, QuarantineDir: qdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, s1)
+
+	// Run 2 lowers the budget below the restored spend: construction must
+	// fail fast, not proceed over budget until a fresh quarantine trips.
+	_, err = NewDirSourceWith(dir, DirConfig{HasHeader: true, MaxBadFiles: 1, QuarantineDir: qdir})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("NewDirSourceWith with lowered budget = %v, want ErrBudgetExhausted", err)
+	}
+
+	// The original budget still resumes cleanly.
+	s3, err := NewDirSourceWith(dir, DirConfig{HasHeader: true, MaxBadFiles: 2, QuarantineDir: qdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := drain(t, s3); len(cols) != 1 {
+		t.Fatalf("resume streamed %d columns, want 1", len(cols))
 	}
 }
 
