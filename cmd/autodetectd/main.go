@@ -19,6 +19,18 @@
 //	POST /v1/check-table   {"columns": {"date": [...], "amount": [...]}}
 //	POST /v1/check-pair    {"a": "72 kg", "b": "154 lbs"}
 //	POST /v1/admin/reload
+//
+// With -jobs-dir set, the durable batch-audit API is mounted as well:
+//
+//	POST   /v1/jobs               submit a whole-table audit (202 + job id)
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          poll status and progress
+//	GET    /v1/jobs/{id}/results  page through findings
+//	DELETE /v1/jobs/{id}          cancel / delete
+//
+// Jobs are checkpointed per column under -jobs-dir and survive restarts:
+// a job interrupted by a crash or drain resumes from its last completed
+// column on the next boot, with byte-identical findings.
 package main
 
 import (
@@ -37,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/distsup"
+	"repro/internal/jobs"
 	"repro/internal/observe"
 	"repro/internal/pipeline"
 	"repro/internal/retry"
@@ -80,6 +93,11 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 256, "concurrent requests before shedding with 429 (0 disables)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
 	maxBodyBytes := flag.Int64("max-body-bytes", 8<<20, "request body cap in bytes (0 disables)")
+	maxTableValues := flag.Int("max-table-values", 100000, "total cell cap per /v1/check-table request or batch job (0 disables)")
+	jobsDir := flag.String("jobs-dir", "", "durable batch-audit job directory; enables POST /v1/jobs (empty disables)")
+	jobWorkers := flag.Int("job-workers", 2, "batch executor pool size (-jobs-dir)")
+	maxQueuedJobs := flag.Int("max-queued-jobs", 64, "queued batch jobs before submissions shed with 429 (-jobs-dir)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job execution deadline; expired jobs fail (0 disables, -jobs-dir)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "connection-draining budget on shutdown")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof (off by default: profiles leak memory contents)")
 	logFormat := flag.String("log-format", "text", "log output format: text (logfmt) or json")
@@ -207,9 +225,34 @@ func main() {
 	svc.MaxInFlight = *maxInflight
 	svc.RequestTimeout = *requestTimeout
 	svc.MaxBodyBytes = *maxBodyBytes
+	svc.MaxTableValues = *maxTableValues
 	svc.Logger = logger
 	svc.Metrics = reg
 	svc.EnablePprof = *enablePprof
+
+	// Batch audit jobs: durable queue + executor under -jobs-dir. Opened
+	// before the listener so jobs interrupted by the previous shutdown are
+	// already re-enqueued when the first poll arrives.
+	var jobMgr *jobs.Manager
+	if *jobsDir != "" {
+		var err error
+		jobMgr, err = jobs.Open(context.Background(), jobs.Config{
+			Dir:        *jobsDir,
+			Workers:    *jobWorkers,
+			MaxQueued:  *maxQueuedJobs,
+			JobTimeout: *jobTimeout,
+			Model:      svc.Model,
+			Metrics:    reg,
+			Logger:     logger,
+		})
+		if err != nil {
+			fatal("batch job manager failed to open", "jobs_dir", *jobsDir, "error", err)
+		}
+		svc.Jobs = jobMgr
+		logger.Info("batch jobs enabled", "jobs_dir", *jobsDir,
+			"job_workers", *jobWorkers, "max_queued_jobs", *maxQueuedJobs,
+			"job_timeout", jobTimeout.String(), "recovered", jobMgr.Recovered())
+	}
 	switch {
 	case *modelPath != "":
 		// Hot reload re-reads the model file; the semantic model (only
@@ -278,6 +321,15 @@ func main() {
 		if err := srv.Shutdown(shCtx); err != nil {
 			logger.Error("drain incomplete, forcing close", "error", err)
 			_ = srv.Close()
+		}
+		if jobMgr != nil {
+			// Drain the executor: running jobs persist their per-column
+			// checkpoint and resume on the next boot.
+			jCtx, jCancel := context.WithTimeout(context.Background(), *drainTimeout)
+			if err := jobMgr.Close(jCtx); err != nil {
+				logger.Error("batch job drain incomplete", "error", err)
+			}
+			jCancel()
 		}
 		logger.Info("shutdown complete")
 	}

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+var batchBenchOut = flag.String("service.batchout", "",
+	"write the batch job end-to-end latency result (BENCH_batch.json) to this path")
+
+// batchBench is the BENCH_batch.json payload: one whole-spreadsheet audit
+// job measured submit-to-done through the full HTTP + durable-queue stack.
+type batchBench struct {
+	Benchmark     string  `json:"benchmark"`
+	Columns       int     `json:"columns"`
+	Values        int     `json:"values"`
+	Findings      int     `json:"findings"`
+	Workers       int     `json:"workers"`
+	NumCPU        int     `json:"num_cpu"`
+	E2EMillis     float64 `json:"e2e_ms"`
+	ColumnsPerSec float64 `json:"columns_per_sec"`
+}
+
+// TestBatchSmoke submits one multi-column audit job, polls it to
+// completion, verifies the jobs_* metric families after real traffic, and
+// writes the end-to-end job latency to -service.batchout (CI's
+// batch-smoke job sets it; plain `go test` skips).
+func TestBatchSmoke(t *testing.T) {
+	if *batchBenchOut == "" {
+		t.Skip("batch smoke disabled; set -service.batchout to enable")
+	}
+	ts, _ := newJobsServer(t, nil)
+	table := batchTable(64)
+	values := 0
+	for _, vs := range table {
+		values += len(vs)
+	}
+
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"columns": table})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var submitted jobStatus
+	if err := json.Unmarshal(body, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	done := waitJobHTTP(t, ts.URL, submitted.ID, "done")
+	e2e := time.Since(start)
+
+	// One page sanity-checks the results endpoint under the benchmark.
+	resp, body = getBody(t, fmt.Sprintf("%s/v1/jobs/%s/results?page_size=%d",
+		ts.URL, submitted.ID, maxResultsPageSize))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	for _, fam := range []string{
+		"autodetect_jobs_submitted_total",
+		"autodetect_jobs_completed_total",
+		"autodetect_jobs_queue_depth",
+		"autodetect_jobs_running",
+		"autodetect_job_seconds",
+		"autodetect_job_column_seconds",
+	} {
+		if !strings.Contains(string(body), fam) {
+			t.Errorf("/metrics missing family %q after a batch job", fam)
+		}
+	}
+
+	out := batchBench{
+		Benchmark:     "batch_job_end_to_end",
+		Columns:       done.ColumnsTotal,
+		Values:        values,
+		Findings:      done.FindingsTotal,
+		Workers:       2,
+		NumCPU:        runtime.NumCPU(),
+		E2EMillis:     float64(e2e) / float64(time.Millisecond),
+		ColumnsPerSec: float64(done.ColumnsTotal) / e2e.Seconds(),
+	}
+	t.Logf("job %s: %d columns, %d findings in %.1fms (%.0f columns/s)",
+		submitted.ID, out.Columns, out.Findings, out.E2EMillis, out.ColumnsPerSec)
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir := filepath.Dir(*batchBenchOut); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(*batchBenchOut, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

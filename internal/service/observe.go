@@ -3,6 +3,7 @@ package service
 import (
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -33,12 +34,21 @@ var knownRoutes = map[string]bool{
 	"/v1/check-table":  true,
 	"/v1/check-pair":   true,
 	"/v1/admin/reload": true,
+	"/v1/jobs":         true,
 	"/metrics":         true,
 }
 
 func routeLabel(r *http.Request) string {
 	if knownRoutes[r.URL.Path] {
 		return r.URL.Path
+	}
+	// Job IDs are client-visible path segments; collapse them so metric
+	// cardinality stays bounded.
+	if strings.HasPrefix(r.URL.Path, "/v1/jobs/") {
+		if strings.HasSuffix(r.URL.Path, "/results") {
+			return "/v1/jobs/{id}/results"
+		}
+		return "/v1/jobs/{id}"
 	}
 	if len(r.URL.Path) >= len("/debug/pprof") && r.URL.Path[:len("/debug/pprof")] == "/debug/pprof" {
 		return "/debug/pprof"

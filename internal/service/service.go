@@ -11,6 +11,11 @@
 //	POST /v1/check-pair    → verdict for a single value pair
 //	POST /v1/admin/reload  → hot-swap the model (when a Reload hook is set)
 //
+// When the Jobs field carries a batch manager, the asynchronous audit API
+// is mounted too (see jobs_http.go): POST /v1/jobs submits a whole-table
+// audit that runs in the background, survives restarts, and pages its
+// findings through GET /v1/jobs/{id}/results.
+//
 // Every request flows through the internal/resilience hardening chain:
 // request-ID injection, panic recovery, load shedding (429 + Retry-After
 // past MaxInFlight), a per-request deadline, and a body-size cap. The
@@ -34,9 +39,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/observe"
-	"repro/internal/repair"
 	"repro/internal/resilience"
 	"repro/internal/semantic"
 )
@@ -57,6 +63,13 @@ type Server struct {
 
 	// MaxValues bounds the accepted column length (default 10000).
 	MaxValues int
+	// MaxTableValues bounds the total cell count of a /v1/check-table
+	// request or a batch job submission (default 100000; <= 0 disables).
+	MaxTableValues int
+	// TableWorkers bounds the per-request column-scoring pool used by
+	// /v1/check-table (default 4; <= 1 scores sequentially). Results are
+	// identical to a sequential pass — columns are independent.
+	TableWorkers int
 	// MaxBodyBytes caps request bodies (default 8 MiB; <= 0 disables).
 	MaxBodyBytes int64
 	// MaxInFlight bounds concurrent requests; excess requests receive
@@ -84,6 +97,9 @@ type Server struct {
 	// load shedder, inside recovery). Off by default: profiles expose
 	// memory contents.
 	EnablePprof bool
+	// Jobs, when set, mounts the asynchronous batch-audit API under
+	// /v1/jobs. Configure it before the first Handler call.
+	Jobs *jobs.Manager
 }
 
 // New returns a server; sem may be nil to disable value-level checks, and
@@ -91,6 +107,8 @@ type Server struct {
 func New(det *core.Detector, sem *semantic.Model) *Server {
 	s := &Server{
 		MaxValues:      10000,
+		MaxTableValues: 100000,
+		TableWorkers:   4,
 		MaxBodyBytes:   8 << 20,
 		MaxInFlight:    256,
 		RequestTimeout: 30 * time.Second,
@@ -116,19 +134,21 @@ func (s *Server) Swap(det *core.Detector, sem *semantic.Model) error {
 // snapshot returns the current model, or nil before the first Swap.
 func (s *Server) snapshot() *model { return s.cur.Load() }
 
-// Finding mirrors core.Finding for JSON.
-type Finding struct {
-	Value      string  `json:"value"`
-	Index      int     `json:"index"`
-	Partner    string  `json:"partner"`
-	Confidence float64 `json:"confidence"`
-	// Kind is "pattern" or "semantic".
-	Kind string `json:"kind"`
-	// Suggestion, when non-empty, proposes a repaired value rendered in
-	// the column's dominant format; SuggestionRule names the repair.
-	Suggestion     string `json:"suggestion,omitempty"`
-	SuggestionRule string `json:"suggestion_rule,omitempty"`
+// Model returns the served (detector, semantic) snapshot, or nils before
+// the first load. The batch-job executor snapshots through this hook so a
+// whole job scores against one consistent model even across hot swaps.
+func (s *Server) Model() (*core.Detector, *semantic.Model) {
+	m := s.snapshot()
+	if m == nil {
+		return nil, nil
+	}
+	return m.det, m.sem
 }
+
+// Finding is one flagged cell. It is the shared internal/audit shape, so
+// the synchronous endpoints and the batch-job results page serialize
+// findings identically.
+type Finding = audit.Finding
 
 // columnRequest is the body of /v1/check-column.
 type columnRequest struct {
@@ -189,6 +209,11 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("/v1/check-table", s.handleTable)
 	api.HandleFunc("/v1/check-pair", s.handlePair)
 	api.HandleFunc("/v1/admin/reload", s.handleReload)
+	// The batch endpoints are always routed; without a configured manager
+	// they answer 501 so clients get a diagnosable error instead of 404.
+	api.HandleFunc("/v1/jobs", s.handleJobs)
+	api.HandleFunc("/v1/jobs/{id}", s.handleJob)
+	api.HandleFunc("/v1/jobs/{id}/results", s.handleJobResults)
 
 	hardened := resilience.Chain(
 		resilience.Limit(s.MaxInFlight, time.Second),
@@ -352,43 +377,11 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// checkColumn runs both detectors over a column, timing the pattern and
-// semantic passes as nested spans of the calling handler.
+// checkColumn scores one column through the shared audit helper — the
+// same code path the batch-job executor runs, so synchronous and batch
+// findings are identical for identical inputs.
 func (m *model) checkColumn(ctx context.Context, values []string, minConf float64) []Finding {
-	if minConf == 0 {
-		minConf = 0.5
-	}
-	var out []Finding
-	_, endPattern := observe.Span(ctx, "detect_pattern")
-	for _, f := range m.det.DetectColumn(values) {
-		if f.Confidence < minConf {
-			continue
-		}
-		sf := Finding{
-			Value: f.Value, Index: f.Index, Partner: f.Partner,
-			Confidence: f.Confidence, Kind: "pattern",
-		}
-		if sug, ok := repair.Suggest(values, f.Value); ok {
-			sf.Suggestion = sug.Proposed
-			sf.SuggestionRule = sug.Rule
-		}
-		out = append(out, sf)
-	}
-	endPattern()
-	if m.sem != nil {
-		_, endSem := observe.Span(ctx, "detect_semantic")
-		for _, f := range m.sem.DetectColumn(values) {
-			if f.Confidence < minConf {
-				continue
-			}
-			out = append(out, Finding{
-				Value: f.Value, Index: f.Index, Partner: f.Partner,
-				Confidence: f.Confidence, Kind: "semantic",
-			})
-		}
-		endSem()
-	}
-	return out
+	return audit.CheckColumn(ctx, m.det, m.sem, values, minConf)
 }
 
 func (s *Server) handleColumn(w http.ResponseWriter, r *http.Request) {
@@ -432,16 +425,14 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	for _, vs := range req.Columns {
 		total += len(vs)
 	}
-	if total > s.MaxValues*10 {
-		writeErr(w, r, http.StatusRequestEntityTooLarge, "table too large")
+	if s.MaxTableValues > 0 && total > s.MaxTableValues {
+		writeErr(w, r, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("table has %d values, at most %d per request", total, s.MaxTableValues))
 		return
 	}
 	ctx, end := observe.Span(r.Context(), "check_table")
-	resp := tableResponse{Columns: map[string][]Finding{}}
-	for name, vs := range req.Columns {
-		if fs := m.checkColumn(ctx, vs, req.MinConfidence); len(fs) > 0 {
-			resp.Columns[name] = fs
-		}
+	resp := tableResponse{
+		Columns: audit.CheckTable(ctx, m.det, m.sem, req.Columns, req.MinConfidence, s.TableWorkers),
 	}
 	end()
 	writeJSON(w, http.StatusOK, resp)
