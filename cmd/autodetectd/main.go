@@ -31,10 +31,25 @@
 // Jobs are checkpointed per column under -jobs-dir and survive restarts:
 // a job interrupted by a crash or drain resumes from its last completed
 // column on the next boot, with byte-identical findings.
+//
+// Distributed corpus builds run the internal/distbuild protocol instead of
+// the serving stack and exit when the build completes:
+//
+//	autodetectd -build-coordinator -train-dir tables/ -build-state state/ \
+//	    -build-out model.bin -addr :9090
+//	autodetectd -build-worker http://coordinator:9090 -train-dir tables/
+//
+// The coordinator hands out partition leases, persists accepted shards
+// under -build-state (its own restart resumes the build), merges them, and
+// atomically writes the finalized model — byte-identical to a
+// single-process `autodetect train` over the same directory and training
+// flags. Workers that crash mid-partition lose their lease after
+// -lease-ttl and the partition is reassigned.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,8 +61,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/distbuild"
 	"repro/internal/distsup"
 	"repro/internal/jobs"
 	"repro/internal/observe"
@@ -94,6 +111,13 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
 	maxBodyBytes := flag.Int64("max-body-bytes", 8<<20, "request body cap in bytes (0 disables)")
 	maxTableValues := flag.Int("max-table-values", 100000, "total cell cap per /v1/check-table request or batch job (0 disables)")
+	buildCoordinator := flag.Bool("build-coordinator", false, "coordinate a distributed corpus build over -train-dir instead of serving; exits once the model is written")
+	buildWorkerURL := flag.String("build-worker", "", "join a distributed build as a worker against this coordinator URL; -train-dir must see the same corpus")
+	buildPartitions := flag.Int("build-partitions", 16, "partition count for -build-coordinator (clamped to the corpus file count)")
+	buildState := flag.String("build-state", "", "coordinator state directory: accepted shards persist here and a restarted coordinator resumes the build (-build-coordinator)")
+	buildOut := flag.String("build-out", "model.bin", "finalized model output path (-build-coordinator)")
+	buildSummary := flag.String("build-summary", "", "write a JSON build summary (wall clock, lease and shard counters) to this path (-build-coordinator)")
+	leaseTTL := flag.Duration("lease-ttl", distbuild.DefaultLeaseTTL, "partition lease TTL; a worker silent this long loses its partition to reassignment (-build-coordinator)")
 	jobsDir := flag.String("jobs-dir", "", "durable batch-audit job directory; enables POST /v1/jobs (empty disables)")
 	jobWorkers := flag.Int("job-workers", 2, "batch executor pool size (-jobs-dir)")
 	maxQueuedJobs := flag.Int("max-queued-jobs", 64, "queued batch jobs before submissions shed with 429 (-jobs-dir)")
@@ -141,6 +165,49 @@ func main() {
 		cfg.DistSup = ds
 		return cfg
 	}
+	// Distributed-build modes replace the serving stack entirely: the
+	// process runs one build to completion (or rides one out, as a worker)
+	// and exits.
+	switch {
+	case *buildCoordinator && *buildWorkerURL != "":
+		fmt.Fprintln(os.Stderr, "autodetectd: -build-coordinator and -build-worker are mutually exclusive")
+		os.Exit(2)
+	case *buildCoordinator:
+		if *trainDir == "" || *buildState == "" {
+			fmt.Fprintln(os.Stderr, "autodetectd: -build-coordinator needs -train-dir and -build-state")
+			os.Exit(2)
+		}
+		err := runBuildCoordinator(logger, reg, coordParams{
+			TrainDir:   *trainDir,
+			StateDir:   *buildState,
+			Partitions: *buildPartitions,
+			LeaseTTL:   *leaseTTL,
+			Addr:       *addr,
+			Out:        *buildOut,
+			Summary:    *buildSummary,
+			Drain:      *drainTimeout,
+			Options: pipeline.Options{
+				Workers:       *workers,
+				Train:         trainConfig(),
+				SampleColumns: *sample,
+				Metrics:       reg,
+			},
+		})
+		if err != nil {
+			fatal("distributed build failed", "error", err)
+		}
+		return
+	case *buildWorkerURL != "":
+		if *trainDir == "" {
+			fmt.Fprintln(os.Stderr, "autodetectd: -build-worker needs -train-dir (the local corpus copy)")
+			os.Exit(2)
+		}
+		if err := runBuildWorker(logger, *buildWorkerURL, *trainDir, *workers); err != nil {
+			fatal("build worker failed", "error", err)
+		}
+		return
+	}
+
 	// buildFromDir streams the directory corpus through the sharded
 	// pipeline; it is re-invoked on SIGHUP / admin reload so the serving
 	// model tracks the table directory without a restart.
@@ -333,4 +400,156 @@ func main() {
 		}
 		logger.Info("shutdown complete")
 	}
+}
+
+// coordParams carries the -build-coordinator flag set.
+type coordParams struct {
+	TrainDir   string
+	StateDir   string
+	Partitions int
+	LeaseTTL   time.Duration
+	Addr       string
+	Out        string
+	Summary    string
+	Drain      time.Duration
+	Options    pipeline.Options
+}
+
+// buildSummary is the -build-summary payload (BENCH_distbuild.json in CI):
+// the wall clock plus every fault-visibility counter, so a smoke harness
+// can assert not just that the build finished but that reassignment and
+// duplicate-handling actually happened.
+type buildSummary struct {
+	Partitions      int     `json:"partitions"`
+	Restored        int     `json:"restored"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	LeasesGranted   uint64  `json:"leases_granted"`
+	LeasesExpired   uint64  `json:"leases_expired"`
+	Reassignments   uint64  `json:"reassignments"`
+	ShardsAccepted  uint64  `json:"shards_accepted"`
+	ShardsDuplicate uint64  `json:"shards_duplicate"`
+	ShardsRejected  uint64  `json:"shards_rejected"`
+	Languages       int     `json:"languages"`
+	ModelBytes      int     `json:"model_bytes"`
+}
+
+// runBuildCoordinator drives one distributed build end to end: serve the
+// distbuild protocol (plus /metrics) on addr, wait until every partition's
+// shard is accepted, merge and finalize, atomically write the model, then
+// drain. SIGINT/SIGTERM abort the build; accepted shards stay under
+// StateDir, so rerunning the same command resumes where it stopped.
+func runBuildCoordinator(logger *slog.Logger, reg *observe.Registry, p coordParams) error {
+	part, err := pipeline.NewDirPartitioner(p.TrainDir, pipeline.DirConfig{HasHeader: true})
+	if err != nil {
+		return err
+	}
+	coord, err := distbuild.NewCoordinator(part, distbuild.CoordinatorConfig{
+		StateDir:   p.StateDir,
+		Partitions: p.Partitions,
+		LeaseTTL:   p.LeaseTTL,
+		Options:    p.Options,
+		Metrics:    reg,
+		Logf:       func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) },
+	})
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", coord.Handler())
+	mux.Handle("GET /metrics", reg.Handler())
+	srv := &http.Server{
+		Addr:              p.Addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Info("build coordinator listening", "addr", p.Addr,
+		"partitions", coord.Partitions(), "restored", coord.Restored(),
+		"lease_ttl", p.LeaseTTL.String(), "state_dir", p.StateDir)
+
+	start := time.Now()
+	waitCh := make(chan error, 1)
+	go func() { waitCh <- coord.Wait(ctx) }()
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("coordinator server failed: %w", err)
+	case err := <-waitCh:
+		if err != nil {
+			logger.Warn("build interrupted; accepted shards persist, rerun to resume",
+				"state_dir", p.StateDir, "status", fmt.Sprintf("%+v", coord.Status()))
+			return err
+		}
+	}
+
+	// Keep serving while finalizing: lingering workers still polling for
+	// leases hear "done" and exit cleanly instead of retrying into a wall.
+	det, rep, err := coord.BuildModel(context.Background())
+	if err != nil {
+		return err
+	}
+	if err := atomicio.WriteTo(p.Out, 0o644, det.Save); err != nil {
+		return err
+	}
+	st := coord.Status()
+	sum := buildSummary{
+		Partitions:      st.Partitions,
+		Restored:        coord.Restored(),
+		WallSeconds:     time.Since(start).Seconds(),
+		LeasesGranted:   st.LeasesGranted,
+		LeasesExpired:   st.LeasesExpired,
+		Reassignments:   st.Reassignments,
+		ShardsAccepted:  st.ShardsAccepted,
+		ShardsDuplicate: st.ShardsDuplicate,
+		ShardsRejected:  st.ShardsRejected,
+		Languages:       len(rep.Selected),
+		ModelBytes:      rep.SelectedBytes,
+	}
+	logger.Info("distributed build complete", "out", p.Out,
+		"partitions", sum.Partitions, "restored", sum.Restored,
+		"leases_granted", sum.LeasesGranted, "leases_expired", sum.LeasesExpired,
+		"reassignments", sum.Reassignments, "shards_accepted", sum.ShardsAccepted,
+		"shards_duplicate", sum.ShardsDuplicate, "shards_rejected", sum.ShardsRejected,
+		"languages", sum.Languages, "model_bytes", sum.ModelBytes,
+		"elapsed", time.Since(start).Round(time.Millisecond).String())
+	if p.Summary != "" {
+		raw, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := atomicio.WriteFile(p.Summary, raw, 0o644); err != nil {
+			return err
+		}
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), p.Drain)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		_ = srv.Close()
+	}
+	return nil
+}
+
+// runBuildWorker joins a distributed build and works until the coordinator
+// reports it complete. The generous retry budget is deliberate: a worker
+// should ride out a coordinator restart, not die during one.
+func runBuildWorker(logger *slog.Logger, coordinator, dir string, workers int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Info("build worker starting", "coordinator", coordinator, "dir", dir, "workers", workers)
+	st, err := distbuild.RunWorker(ctx, distbuild.WorkerConfig{
+		Coordinator: coordinator,
+		Dir:         dir,
+		Workers:     workers,
+		Retry:       retry.Policy{MaxAttempts: 10},
+		Logf:        func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) },
+	})
+	if err != nil {
+		return err
+	}
+	logger.Info("build worker done", "partitions_counted", st.PartitionsCounted,
+		"leases_lost", st.LeasesLost, "waits", st.Waits)
+	return nil
 }

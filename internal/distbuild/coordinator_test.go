@@ -1,0 +1,360 @@
+package distbuild
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/observe"
+	"repro/internal/pipeline"
+)
+
+// shardFor counts one partition in-process and returns its encoded shard —
+// what an honest worker would upload.
+func shardFor(t *testing.T, dir string, idx, n int, opts pipeline.Options) ([]byte, *pipeline.Partial) {
+	t.Helper()
+	part, err := pipeline.NewDirPartitioner(dir, pipeline.DirConfig{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := part.Open(pipeline.PartitionSpec{Index: idx, Count: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pipeline.CountPartial(context.Background(), src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pipeline.EncodePartial(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), p
+}
+
+func postLease(t *testing.T, h http.Handler, worker string) LeaseResponse {
+	t.Helper()
+	body, _ := json.Marshal(LeaseRequest{Worker: worker})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, PathLease, bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("lease: status %d: %s", rec.Code, rec.Body)
+	}
+	var lr LeaseResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	return lr
+}
+
+func postShard(t *testing.T, h http.Handler, idx int, raw []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	url := fmt.Sprintf("%s?partition=%d&worker=test", PathShard, idx)
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, url, bytes.NewReader(raw)))
+	return rec
+}
+
+// TestCoordinatorLeaseFlow: grants walk the partitions in index order,
+// carry the build identity, and turn into Wait once everything is leased.
+func TestCoordinatorLeaseFlow(t *testing.T) {
+	dir, _ := testCorpusDir(t, 120, 10, 3)
+	opts := testOptions(40)
+	c := newTestCoordinator(t, dir, t.TempDir(), CoordinatorConfig{Partitions: 2, Options: opts})
+	h := c.Handler()
+
+	l1 := postLease(t, h, "w1")
+	if l1.Done || l1.Wait || l1.Partition != 0 || l1.Partitions != 2 {
+		t.Fatalf("first lease = %+v", l1)
+	}
+	if l1.TTLMillis != DefaultLeaseTTL.Milliseconds() {
+		t.Errorf("TTLMillis = %d, want default %d", l1.TTLMillis, DefaultLeaseTTL.Milliseconds())
+	}
+	part, err := pipeline.NewDirPartitioner(dir, pipeline.DirConfig{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Build.CorpusFingerprint != part.Fingerprint() {
+		t.Error("lease corpus fingerprint differs from the directory's")
+	}
+	if !l1.Build.HasHeader {
+		t.Error("lease dropped the header flag")
+	}
+	wantFP, err := part.PartitionFingerprint(pipeline.PartitionSpec{Index: 0, Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Build.PartitionFingerprint != pipeline.BuildFingerprint(wantFP, opts) {
+		t.Error("lease partition fingerprint is not the expected build fingerprint")
+	}
+
+	l2 := postLease(t, h, "w2")
+	if l2.Partition != 1 {
+		t.Fatalf("second lease partition = %d, want 1", l2.Partition)
+	}
+	l3 := postLease(t, h, "w3")
+	if !l3.Wait || l3.RetryAfterSeconds < 1 {
+		t.Fatalf("third lease = %+v, want Wait", l3)
+	}
+
+	// Garbage request: 400.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, PathLease, strings.NewReader("{")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad lease request: status %d", rec.Code)
+	}
+}
+
+// TestCoordinatorShardSemantics: the accept/duplicate/reject ladder.
+func TestCoordinatorShardSemantics(t *testing.T) {
+	dir, _ := testCorpusDir(t, 120, 10, 5)
+	opts := testOptions(40)
+	reg := observe.NewRegistry()
+	c := newTestCoordinator(t, dir, t.TempDir(), CoordinatorConfig{Partitions: 2, Options: opts, Metrics: reg})
+	h := c.Handler()
+
+	good0, p0 := shardFor(t, dir, 0, 2, opts)
+
+	// Torn upload: integrity failure, retryable 503 with the shared
+	// Retry-After hint.
+	rec := postShard(t, h, 0, good0[:len(good0)-7])
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("torn shard: status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") != "5" {
+		t.Errorf("torn shard Retry-After = %q, want \"5\"", rec.Header().Get("Retry-After"))
+	}
+	// Bit flip: same.
+	flipped := append([]byte(nil), good0...)
+	flipped[len(flipped)/2] ^= 0x20
+	if rec := postShard(t, h, 0, flipped); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("flipped shard: status %d, want 503", rec.Code)
+	}
+
+	// Wrong build: counted under different smoothing → fingerprint 409.
+	wrongOpts := opts
+	wrongOpts.Train.Smoothing = 0.5
+	wrong0, _ := shardFor(t, dir, 0, 2, wrongOpts)
+	if rec := postShard(t, h, 0, wrong0); rec.Code != http.StatusConflict {
+		t.Fatalf("wrong-config shard: status %d, want 409", rec.Code)
+	}
+
+	// Valid: accepted and persisted.
+	if rec := postShard(t, h, 0, good0); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "accepted") {
+		t.Fatalf("valid shard: status %d body %s", rec.Code, rec.Body)
+	}
+	if _, err := os.Stat(c.shardPath(0)); err != nil {
+		t.Fatalf("accepted shard not persisted: %v", err)
+	}
+
+	// Exact duplicate: acknowledged, not merged, counted.
+	if rec := postShard(t, h, 0, good0); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "duplicate") {
+		t.Fatalf("duplicate shard: status %d body %s", rec.Code, rec.Body)
+	}
+
+	// Same fingerprint, different bytes (a merged partial keeps the
+	// receiver's fingerprint): refused as a conflict.
+	_, pOther := shardFor(t, dir, 1, 2, opts)
+	if err := p0.Merge(pOther); err != nil {
+		t.Fatal(err)
+	}
+	var evil bytes.Buffer
+	if err := pipeline.EncodePartial(&evil, p0); err != nil {
+		t.Fatal(err)
+	}
+	if rec := postShard(t, h, 0, evil.Bytes()); rec.Code != http.StatusConflict {
+		t.Fatalf("conflicting shard: status %d, want 409", rec.Code)
+	}
+
+	// Out-of-range partition: 400.
+	if rec := postShard(t, h, 9, good0); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad partition index: status %d, want 400", rec.Code)
+	}
+
+	st := c.Status()
+	if st.ShardsAccepted != 1 || st.ShardsDuplicate != 1 || st.ShardsRejected != 5 {
+		t.Fatalf("status counters = %+v, want 1 accepted, 1 duplicate, 5 rejected", st)
+	}
+	if st.Done != 1 || st.Complete {
+		t.Fatalf("status progress = %+v, want Done=1 Complete=false", st)
+	}
+}
+
+// TestCoordinatorCompletesAndFinalizes: accepting every shard closes Wait
+// and BuildModel reproduces the single-process model byte for byte.
+func TestCoordinatorCompletesAndFinalizes(t *testing.T) {
+	dir, _ := testCorpusDir(t, 600, 40, 7)
+	opts := testOptions(50)
+	c := newTestCoordinator(t, dir, t.TempDir(), CoordinatorConfig{Partitions: 3, Options: opts})
+	h := c.Handler()
+
+	if _, _, err := c.BuildModel(context.Background()); err == nil {
+		t.Fatal("BuildModel succeeded on an incomplete build")
+	}
+	n := c.Partitions()
+	for i := 0; i < n; i++ {
+		raw, _ := shardFor(t, dir, i, n, opts)
+		if rec := postShard(t, h, i, raw); rec.Code != http.StatusOK {
+			t.Fatalf("shard %d: status %d", i, rec.Code)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("Wait after all shards: %v", err)
+	}
+	det, rep, err := c.BuildModel(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrainingExamples == 0 {
+		t.Error("finalized report has no training examples")
+	}
+	if !bytes.Equal(saveModel(t, det), referenceModel(t, dir, opts)) {
+		t.Fatal("distributed model differs from single-process model")
+	}
+}
+
+// TestCoordinatorRestartRestores: a new coordinator over the same StateDir
+// resumes from persisted shards, deletes corrupt ones, and only leases what
+// is still missing.
+func TestCoordinatorRestartRestores(t *testing.T) {
+	dir, _ := testCorpusDir(t, 600, 40, 9)
+	opts := testOptions(40)
+	state := t.TempDir()
+	c1 := newTestCoordinator(t, dir, state, CoordinatorConfig{Partitions: 3, Options: opts})
+	h1 := c1.Handler()
+	n := c1.Partitions()
+	for i := 0; i < 2; i++ {
+		raw, _ := shardFor(t, dir, i, n, opts)
+		if rec := postShard(t, h1, i, raw); rec.Code != http.StatusOK {
+			t.Fatalf("shard %d: status %d", i, rec.Code)
+		}
+	}
+	// Corrupt the second persisted shard: the restarted coordinator must
+	// drop it and re-lease that partition.
+	raw, err := os.ReadFile(c1.shardPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0xFF
+	if err := os.WriteFile(c1.shardPath(1), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := newTestCoordinator(t, dir, state, CoordinatorConfig{Partitions: 3, Options: opts})
+	if c2.Restored() != 1 {
+		t.Fatalf("Restored() = %d, want 1 (one valid, one corrupted)", c2.Restored())
+	}
+	h2 := c2.Handler()
+	l := postLease(t, h2, "w1")
+	if l.Partition != 1 {
+		t.Fatalf("restarted coordinator leased partition %d, want 1 (the corrupted one)", l.Partition)
+	}
+	l2 := postLease(t, h2, "w2")
+	if l2.Partition != 2 {
+		t.Fatalf("restarted coordinator leased partition %d, want 2", l2.Partition)
+	}
+	for _, i := range []int{1, 2} {
+		raw, _ := shardFor(t, dir, i, n, opts)
+		if rec := postShard(t, h2, i, raw); rec.Code != http.StatusOK {
+			t.Fatalf("shard %d after restart: status %d", i, rec.Code)
+		}
+	}
+	det, _, err := c2.BuildModel(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saveModel(t, det), referenceModel(t, dir, opts)) {
+		t.Fatal("restored build differs from single-process model")
+	}
+}
+
+// TestCoordinatorLeaseExpiryOverHTTP: heartbeats renew; silence reassigns.
+// The coordinator's clock is injectable, so no real waiting happens.
+func TestCoordinatorLeaseExpiryOverHTTP(t *testing.T) {
+	dir, _ := testCorpusDir(t, 60, 10, 11)
+	opts := testOptions(0)
+	c := newTestCoordinator(t, dir, t.TempDir(), CoordinatorConfig{Partitions: 1, Options: opts, LeaseTTL: 10 * time.Second})
+	clk := newFakeClock()
+	c.now = clk.now
+	h := c.Handler()
+
+	l := postLease(t, h, "w1")
+	if l.Wait || l.Done {
+		t.Fatalf("lease = %+v", l)
+	}
+	hb := func(worker string, partition int) int {
+		body, _ := json.Marshal(HeartbeatRequest{Worker: worker, Partition: partition})
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, PathHeartbeat, bytes.NewReader(body)))
+		return rec.Code
+	}
+	clk.advance(8 * time.Second)
+	if code := hb("w1", 0); code != http.StatusNoContent {
+		t.Fatalf("in-TTL heartbeat: status %d, want 204", code)
+	}
+	// Renewed at t=8s, so t=17s is still inside the renewed TTL.
+	clk.advance(9 * time.Second)
+	if code := hb("w1", 0); code != http.StatusNoContent {
+		t.Fatalf("renewed heartbeat: status %d, want 204", code)
+	}
+	// Silence past the TTL: the lease is gone and the next worker gets it.
+	clk.advance(11 * time.Second)
+	if code := hb("w1", 0); code != http.StatusGone {
+		t.Fatalf("expired heartbeat: status %d, want 410", code)
+	}
+	l2 := postLease(t, h, "w2")
+	if l2.Wait || l2.Partition != 0 {
+		t.Fatalf("post-expiry lease = %+v, want partition 0", l2)
+	}
+	st := c.Status()
+	if st.LeasesExpired != 1 || st.Reassignments != 1 {
+		t.Fatalf("status = %+v, want 1 expiry and 1 reassignment", st)
+	}
+}
+
+// TestDistbuildMetricsExposition: the distbuild_* families appear on a
+// /metrics scrape of a registry the coordinator is wired to.
+func TestDistbuildMetricsExposition(t *testing.T) {
+	dir, _ := testCorpusDir(t, 60, 10, 13)
+	opts := testOptions(0)
+	reg := observe.NewRegistry()
+	c := newTestCoordinator(t, dir, t.TempDir(), CoordinatorConfig{Partitions: 2, Options: opts, Metrics: reg})
+	h := c.Handler()
+	postLease(t, h, "w1")
+	raw, _ := shardFor(t, dir, 0, c.Partitions(), opts)
+	postShard(t, h, 0, raw)
+	postShard(t, h, 0, raw) // duplicate
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"autodetect_distbuild_leases_granted_total 1",
+		"autodetect_distbuild_shards_accepted_total 1",
+		"autodetect_distbuild_shards_duplicate_total 1",
+		"autodetect_distbuild_partitions 2",
+		"autodetect_distbuild_partitions_done 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package distbuild
+
+// Shared fixtures: a deterministic multi-file corpus directory, the scaled-
+// down training configuration the pipeline tests use, and a reference model
+// built by the single-process pipeline for byte-identity assertions.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/distsup"
+	"repro/internal/pattern"
+	"repro/internal/pipeline"
+)
+
+// testCorpusDir writes numColumns synthetic web-profile columns as CSV
+// files of perFile columns each and returns the directory and file count.
+func testCorpusDir(t *testing.T, numColumns, perFile int, seed int64) (string, int) {
+	t.Helper()
+	dir := t.TempDir()
+	c := corpus.Generate(corpus.WebProfile(), numColumns, seed)
+	n := 0
+	for i := 0; i < len(c.Columns); i += perFile {
+		end := i + perFile
+		if end > len(c.Columns) {
+			end = len(c.Columns)
+		}
+		var buf bytes.Buffer
+		if err := corpus.WriteCSV(&buf, c.Columns[i:end]); err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("table-%04d.csv", n)
+		if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	return dir, n
+}
+
+// testTrainConfig mirrors the pipeline package's scaled-down configuration:
+// every fifth language, 1500+1500 training pairs.
+func testTrainConfig() core.TrainConfig {
+	cfg := core.DefaultTrainConfig()
+	all := pattern.All()
+	for i := 0; i < len(all); i += 5 {
+		cfg.Languages = append(cfg.Languages, all[i])
+	}
+	ds := distsup.DefaultConfig()
+	ds.PositivePairs, ds.NegativePairs = 1500, 1500
+	cfg.DistSup = ds
+	return cfg
+}
+
+func testOptions(sampleColumns int) pipeline.Options {
+	return pipeline.Options{Workers: 2, Train: testTrainConfig(), SampleColumns: sampleColumns}
+}
+
+// referenceModel builds the single-process model over dir — the byte string
+// every distributed build must reproduce exactly.
+func referenceModel(t *testing.T, dir string, opts pipeline.Options) []byte {
+	t.Helper()
+	src, err := pipeline.NewDirSourceWith(dir, pipeline.DirConfig{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipeline.Run(context.Background(), src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return saveModel(t, res.Detector)
+}
+
+func saveModel(t *testing.T, det *core.Detector) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// newTestCoordinator builds a coordinator over dir with the given state
+// directory (reused across "restarts" in tests).
+func newTestCoordinator(t *testing.T, dir, stateDir string, cfg CoordinatorConfig) *Coordinator {
+	t.Helper()
+	part, err := pipeline.NewDirPartitioner(dir, pipeline.DirConfig{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.StateDir = stateDir
+	c, err := NewCoordinator(part, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,125 @@
+package distbuild
+
+import (
+	"errors"
+	"time"
+)
+
+// errLeaseLost is returned by heartbeat/ownership checks when the caller no
+// longer holds the partition — its lease expired and was (or may be)
+// reassigned, or the partition already completed. The HTTP layer maps it to
+// 410 Gone.
+var errLeaseLost = errors.New("distbuild: lease lost")
+
+// Partition lease states. A partition is pending until leased, leased until
+// its shard is accepted or its TTL lapses, and done forever after.
+type leaseState int
+
+const (
+	statePending leaseState = iota
+	stateLeased
+	stateDone
+)
+
+// leaseTable tracks who is counting which partition. It is a passive state
+// machine: expiry is evaluated lazily against the injected clock on every
+// operation, so there is no background reaper goroutine to leak or to race
+// with — a design the fake-clock tests rely on.
+//
+// Callers hold no reference to table internals; all methods are
+// self-locking via the owning Coordinator's mutex — the table itself is NOT
+// goroutine-safe.
+type leaseTable struct {
+	now time.Time // advanced by the owner before each operation
+	ttl time.Duration
+
+	states  []leaseState
+	workers []string    // lease holder per partition, "" when not leased
+	expires []time.Time // lease deadline per partition
+
+	done       int
+	granted    uint64
+	expired    uint64
+	reassigned uint64
+	everLeased []bool // partition had a prior lease → next grant is a reassignment
+}
+
+func newLeaseTable(partitions int, ttl time.Duration) *leaseTable {
+	return &leaseTable{
+		ttl:        ttl,
+		states:     make([]leaseState, partitions),
+		workers:    make([]string, partitions),
+		expires:    make([]time.Time, partitions),
+		everLeased: make([]bool, partitions),
+	}
+}
+
+// tick sets the table's notion of now and lapses overdue leases back to
+// pending. Owners call it (under their lock) before every operation.
+func (t *leaseTable) tick(now time.Time) {
+	t.now = now
+	for i, st := range t.states {
+		if st == stateLeased && now.After(t.expires[i]) {
+			t.states[i] = statePending
+			t.workers[i] = ""
+			t.expired++
+		}
+	}
+}
+
+// acquire grants the lowest-index pending partition to worker. The second
+// result reports whether the grant is a reassignment (the partition had
+// been leased before and that lease lapsed). ok=false means nothing is
+// pending: either the build is complete or every remaining partition is
+// leased out.
+func (t *leaseTable) acquire(worker string) (idx int, reassigned, ok bool) {
+	for i, st := range t.states {
+		if st != statePending {
+			continue
+		}
+		reassigned = t.everLeased[i]
+		t.states[i] = stateLeased
+		t.workers[i] = worker
+		t.expires[i] = t.now.Add(t.ttl)
+		t.everLeased[i] = true
+		t.granted++
+		if reassigned {
+			t.reassigned++
+		}
+		return i, reassigned, true
+	}
+	return 0, false, false
+}
+
+// heartbeat extends worker's lease on partition idx, or reports the lease
+// lost. Heartbeating a completed partition is also a loss: the worker's
+// result is no longer wanted.
+func (t *leaseTable) heartbeat(worker string, idx int) error {
+	if idx < 0 || idx >= len(t.states) {
+		return errLeaseLost
+	}
+	if t.states[idx] != stateLeased || t.workers[idx] != worker {
+		return errLeaseLost
+	}
+	t.expires[idx] = t.now.Add(t.ttl)
+	return nil
+}
+
+// complete marks a partition done, releasing any lease on it. Idempotent:
+// completing a done partition is a no-op, so duplicate shard uploads and
+// restart-restored shards cannot double-count.
+func (t *leaseTable) complete(idx int) {
+	if idx < 0 || idx >= len(t.states) || t.states[idx] == stateDone {
+		return
+	}
+	t.states[idx] = stateDone
+	t.workers[idx] = ""
+	t.done++
+}
+
+func (t *leaseTable) isDone(idx int) bool {
+	return idx >= 0 && idx < len(t.states) && t.states[idx] == stateDone
+}
+
+// allDone reports build completion.
+func (t *leaseTable) allDone() bool { return t.done == len(t.states) }

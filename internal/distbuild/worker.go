@@ -1,0 +1,297 @@
+package distbuild
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/retry"
+)
+
+// DefaultAttemptTimeout bounds each individual coordinator call a worker
+// makes, so one hung request (a stalled upload over a flaky link) is
+// abandoned and retried instead of pinning the worker forever.
+const DefaultAttemptTimeout = time.Minute
+
+// WorkerConfig configures RunWorker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8080".
+	Coordinator string
+	// Name identifies this worker in leases and logs (default
+	// hostname-pid).
+	Name string
+	// Dir is the local path of the corpus directory. Its content must
+	// fingerprint-match the coordinator's view (a shared mount or an
+	// identical copy); the worker refuses to count a divergent corpus.
+	Dir string
+	// Workers is the counting parallelism inside this process (default
+	// NumCPU via the pipeline).
+	Workers int
+	// HTTP issues the coordinator calls (default http.DefaultClient).
+	// Tests inject fault-injecting transports here.
+	HTTP *http.Client
+	// Retry shapes every coordinator call. Zero-value fields take the
+	// retry package defaults; AttemptTimeout additionally defaults to
+	// DefaultAttemptTimeout.
+	Retry retry.Policy
+	// Logf, when set, receives one line per worker event.
+	Logf func(format string, args ...any)
+}
+
+// WorkerStats summarizes one RunWorker call.
+type WorkerStats struct {
+	// PartitionsCounted is how many shards this worker got accepted
+	// (duplicate acknowledgements count — the work was done).
+	PartitionsCounted int
+	// LeasesLost counts partitions abandoned mid-count because the
+	// coordinator declared the lease gone (usually after a stall).
+	LeasesLost int
+	// Waits counts lease requests answered "all partitions busy".
+	Waits int
+}
+
+// worker carries the per-run state of RunWorker.
+type worker struct {
+	cfg    WorkerConfig
+	client *http.Client
+	logf   func(format string, args ...any)
+	part   *pipeline.DirPartitioner // lazily opened on the first lease
+}
+
+// RunWorker participates in a distributed build until the coordinator
+// reports it complete: lease a partition, count it (heartbeating all the
+// while), upload the shard, repeat. It returns nil when the build is done,
+// ctx.Err() on cancellation, and a descriptive error when the corpus view
+// diverges from the coordinator's or the coordinator refuses this worker's
+// shards permanently. Lost leases are not errors — the partition is simply
+// someone else's now, and the worker asks for another.
+func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
+	var stats WorkerStats
+	if cfg.Coordinator == "" {
+		return stats, errors.New("distbuild: WorkerConfig.Coordinator is required")
+	}
+	if cfg.Dir == "" {
+		return stats, errors.New("distbuild: WorkerConfig.Dir is required")
+	}
+	if cfg.Name == "" {
+		host, _ := os.Hostname()
+		cfg.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.Retry.AttemptTimeout == 0 {
+		cfg.Retry.AttemptTimeout = DefaultAttemptTimeout
+	}
+	w := &worker{
+		cfg:    cfg,
+		client: cfg.HTTP,
+		logf:   cfg.Logf,
+	}
+	if w.client == nil {
+		w.client = http.DefaultClient
+	}
+	if w.logf == nil {
+		w.logf = func(string, ...any) {}
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		var lease LeaseResponse
+		if err := w.postJSON(ctx, PathLease, LeaseRequest{Worker: cfg.Name}, &lease); err != nil {
+			return stats, fmt.Errorf("distbuild: requesting lease: %w", err)
+		}
+		switch {
+		case lease.Done:
+			w.logf("distbuild worker %s: build complete", cfg.Name)
+			return stats, nil
+		case lease.Wait:
+			stats.Waits++
+			if err := sleep(ctx, time.Duration(max(lease.RetryAfterSeconds, 1))*time.Second); err != nil {
+				return stats, err
+			}
+			continue
+		}
+		err := w.runLease(ctx, lease)
+		switch {
+		case errors.Is(err, errLeaseLost):
+			stats.LeasesLost++
+			w.logf("distbuild worker %s: lost lease on partition %d, re-leasing", cfg.Name, lease.Partition)
+		case err != nil:
+			return stats, err
+		default:
+			stats.PartitionsCounted++
+		}
+	}
+}
+
+// runLease counts one leased partition and uploads its shard. It returns
+// errLeaseLost when the coordinator reassigned the partition mid-count.
+func (w *worker) runLease(ctx context.Context, lease LeaseResponse) error {
+	if w.part == nil {
+		part, err := pipeline.NewDirPartitioner(w.cfg.Dir, pipeline.DirConfig{HasHeader: lease.Build.HasHeader})
+		if err != nil {
+			return fmt.Errorf("distbuild: scanning corpus: %w", err)
+		}
+		w.part = part
+	}
+	if got, want := w.part.Fingerprint(), lease.Build.CorpusFingerprint; got != want {
+		return fmt.Errorf("distbuild: local corpus fingerprint %q does not match the coordinator's %q — stale mount or divergent copy", got, want)
+	}
+	src, err := w.part.Open(pipeline.PartitionSpec{Index: lease.Partition, Count: lease.Partitions})
+	if err != nil {
+		return fmt.Errorf("distbuild: opening partition %d/%d: %w", lease.Partition, lease.Partitions, err)
+	}
+	opts := lease.Build.Count.Options(w.cfg.Workers)
+
+	// Heartbeat from lease to acknowledged upload. Renewing through the
+	// encode and upload tail matters: on a loaded machine that tail can
+	// outlast the TTL, and a lease that silently lapsed mid-upload shows up
+	// as a spurious expiry and invites another worker to recount a
+	// partition whose shard is already in flight. A lost lease cancels the
+	// count via cctx; the worker re-leases instead of finishing work nobody
+	// wants.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var lost atomic.Bool
+	hbDone := make(chan struct{})
+	ttl := time.Duration(lease.TTLMillis) * time.Millisecond
+	go func() {
+		defer close(hbDone)
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-cctx.Done():
+				return
+			case <-tick.C:
+				err := w.postJSON(cctx, PathHeartbeat, HeartbeatRequest{Worker: w.cfg.Name, Partition: lease.Partition}, nil)
+				if err != nil && cctx.Err() == nil {
+					// 410 or persistent failure: either way the lease
+					// cannot be trusted to still be ours.
+					lost.Store(true)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	w.logf("distbuild worker %s: counting partition %d/%d", w.cfg.Name, lease.Partition, lease.Partitions)
+	p, err := pipeline.CountPartial(cctx, src, opts)
+	if err != nil {
+		cancel()
+		<-hbDone
+		if lost.Load() && ctx.Err() == nil {
+			return errLeaseLost
+		}
+		return fmt.Errorf("distbuild: counting partition %d: %w", lease.Partition, err)
+	}
+	// The heartbeat goroutine keeps renewing while the shard is encoded and
+	// uploaded; it is stopped once the coordinator has acknowledged (a 410
+	// in that window is expected — our own accepted upload completes the
+	// partition — and harmless, since nothing consults cctx anymore).
+	defer func() { cancel(); <-hbDone }()
+	if p.Fingerprint != lease.Build.PartitionFingerprint {
+		return fmt.Errorf("distbuild: counted partition %d carries fingerprint %q, lease promised %q", lease.Partition, p.Fingerprint, lease.Build.PartitionFingerprint)
+	}
+
+	var buf bytes.Buffer
+	if err := pipeline.EncodePartial(&buf, p); err != nil {
+		return fmt.Errorf("distbuild: encoding shard: %w", err)
+	}
+	// Upload under the parent context: even if the lease lapses mid-upload,
+	// the coordinator accepts any correct shard.
+	url := fmt.Sprintf("%s%s?partition=%d&worker=%s", w.cfg.Coordinator, PathShard, lease.Partition, w.cfg.Name)
+	if err := w.do(ctx, url, "application/octet-stream", buf.Bytes(), nil); err != nil {
+		return fmt.Errorf("distbuild: uploading partition %d: %w", lease.Partition, err)
+	}
+	w.logf("distbuild worker %s: partition %d uploaded (%d columns, %d sample)", w.cfg.Name, lease.Partition, p.Columns, p.SampleSize())
+	return nil
+}
+
+// postJSON is a retried JSON POST to a coordinator control endpoint.
+func (w *worker) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return w.do(ctx, w.cfg.Coordinator+path, "application/json", body, out)
+}
+
+// do issues one coordinator call under the worker's retry policy, creating
+// a fresh request (and body reader) per attempt so retries of a torn upload
+// resend from byte zero.
+func (w *worker) do(ctx context.Context, url, contentType string, body []byte, out any) error {
+	return w.cfg.Retry.DoCtx(ctx, func(actx context.Context) error {
+		req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", contentType)
+		resp, err := w.client.Do(req)
+		if err != nil {
+			// Transport-level failures (resets, refused connections,
+			// injected faults) are transient by construction: every
+			// coordinator endpoint is idempotent, so resending is safe
+			// even when the original request was actually delivered.
+			return retry.Transient(err)
+		}
+		defer resp.Body.Close()
+		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if out != nil {
+				if err := json.Unmarshal(raw, out); err != nil {
+					// A torn or short response body is a network fault, not
+					// a protocol violation; the request itself was already
+					// processed, and every endpoint is idempotent, so
+					// re-asking is safe.
+					if rerr != nil {
+						err = rerr
+					}
+					return retry.Transient(fmt.Errorf("distbuild: bad coordinator response: %w", err))
+				}
+			}
+			return nil
+		case resp.StatusCode == http.StatusNoContent:
+			return nil
+		case resp.StatusCode == http.StatusGone:
+			return fmt.Errorf("%w: %s", errLeaseLost, httpMessage(resp.StatusCode, raw))
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			return retry.Transient(errors.New(httpMessage(resp.StatusCode, raw)))
+		default:
+			return errors.New(httpMessage(resp.StatusCode, raw))
+		}
+	})
+}
+
+// httpMessage renders a coordinator error response for wrapping, favoring
+// the JSON error envelope's message when present.
+func httpMessage(status int, raw []byte) string {
+	var eb errBody
+	if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+		return fmt.Sprintf("coordinator answered %d: %s", status, eb.Error)
+	}
+	return fmt.Sprintf("coordinator answered %d: %s", status, strings.TrimSpace(string(raw)))
+}
+
+// sleep waits d honoring ctx.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,100 @@
+package distbuild
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/retry"
+)
+
+// testRetry is a fast worker retry policy for tests: generous attempts,
+// tiny backoff, per-attempt timeout small enough to notice a wedged server.
+func testRetry() retry.Policy {
+	return retry.Policy{
+		MaxAttempts:    8,
+		BaseDelay:      10 * time.Millisecond,
+		MaxDelay:       100 * time.Millisecond,
+		AttemptTimeout: 10 * time.Second,
+	}
+}
+
+// TestWorkersBuildByteIdenticalModel: two healthy workers drain the
+// partitions over real HTTP and the coordinator's finalized model matches
+// the single-process build byte for byte.
+func TestWorkersBuildByteIdenticalModel(t *testing.T) {
+	dir, _ := testCorpusDir(t, 600, 40, 17)
+	opts := testOptions(100)
+	c := newTestCoordinator(t, dir, t.TempDir(), CoordinatorConfig{Partitions: 4, Options: opts})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	stats := make([]WorkerStats, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i], errs[i] = RunWorker(ctx, WorkerConfig{
+				Coordinator: srv.URL,
+				Name:        []string{"alpha", "beta"}[i],
+				Dir:         dir,
+				Workers:     2,
+				Retry:       testRetry(),
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if total := stats[0].PartitionsCounted + stats[1].PartitionsCounted; total != c.Partitions() {
+		t.Errorf("workers counted %d partitions, want %d", total, c.Partitions())
+	}
+	if err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	det, _, err := c.BuildModel(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saveModel(t, det), referenceModel(t, dir, opts)) {
+		t.Fatal("distributed model differs from single-process model")
+	}
+	st := c.Status()
+	if !st.Complete || st.ShardsAccepted != uint64(c.Partitions()) {
+		t.Fatalf("status after build = %+v", st)
+	}
+}
+
+// TestWorkerRefusesDivergentCorpus: a worker whose local directory does not
+// fingerprint-match the coordinator's aborts instead of counting garbage.
+func TestWorkerRefusesDivergentCorpus(t *testing.T) {
+	dir, _ := testCorpusDir(t, 60, 10, 19)
+	otherDir, _ := testCorpusDir(t, 60, 10, 23)
+	opts := testOptions(0)
+	c := newTestCoordinator(t, dir, t.TempDir(), CoordinatorConfig{Partitions: 2, Options: opts})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := RunWorker(ctx, WorkerConfig{
+		Coordinator: srv.URL,
+		Name:        "stale",
+		Dir:         otherDir,
+		Retry:       testRetry(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("divergent-corpus worker returned %v, want fingerprint mismatch", err)
+	}
+}

@@ -1,0 +1,225 @@
+package faultfs
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/retry"
+)
+
+// echoServer counts delivered requests and echoes a fixed body.
+func echoServer(t *testing.T, hits *atomic.Uint64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		io.WriteString(w, strings.Repeat("corpus-shard-bytes.", 20))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, c *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Do(req)
+}
+
+func TestHTTPDropNeverDelivers(t *testing.T) {
+	var hits atomic.Uint64
+	srv := echoServer(t, &hits)
+	tr := NewTransport(srv.Client().Transport, HTTPConfig{Seed: 1, DropRate: 1, RecoverAfter: 3})
+	c := &http.Client{Transport: tr}
+	for i := 0; i < 3; i++ {
+		_, err := get(t, c, srv.URL+"/lease")
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("request %d: err = %v, want injected fault", i, err)
+		}
+		if !retry.IsTransient(err) {
+			t.Errorf("request %d: injected drop not classified transient", i)
+		}
+	}
+	if hits.Load() != 0 {
+		t.Errorf("server saw %d requests, want 0 (drops must not deliver)", hits.Load())
+	}
+	if tr.Drops() != 3 {
+		t.Errorf("Drops = %d, want 3", tr.Drops())
+	}
+}
+
+func TestHTTPServerErrorSynthesized(t *testing.T) {
+	var hits atomic.Uint64
+	srv := echoServer(t, &hits)
+	tr := NewTransport(srv.Client().Transport, HTTPConfig{Seed: 2, ServerErrorRate: 1, RetryAfterSeconds: 7})
+	c := &http.Client{Transport: tr}
+	resp, err := get(t, c, srv.URL+"/shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want %q", got, "7")
+	}
+	if hits.Load() != 0 {
+		t.Errorf("server saw %d requests, want 0 (503s are synthesized)", hits.Load())
+	}
+	if tr.ServerErrors() != 1 {
+		t.Errorf("ServerErrors = %d, want 1", tr.ServerErrors())
+	}
+}
+
+func TestHTTPBlackholeDeliversThenFails(t *testing.T) {
+	var hits atomic.Uint64
+	srv := echoServer(t, &hits)
+	tr := NewTransport(srv.Client().Transport, HTTPConfig{Seed: 3, BlackholeRate: 1})
+	c := &http.Client{Transport: tr}
+	_, err := get(t, c, srv.URL+"/shard")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if !retry.IsTransient(err) {
+		t.Error("blackhole error not classified transient")
+	}
+	if hits.Load() != 1 {
+		t.Errorf("server saw %d requests, want 1 (blackhole must deliver)", hits.Load())
+	}
+	if tr.Blackholes() != 1 {
+		t.Errorf("Blackholes = %d, want 1", tr.Blackholes())
+	}
+}
+
+func TestHTTPTruncateTearsResponseBody(t *testing.T) {
+	var hits atomic.Uint64
+	srv := echoServer(t, &hits)
+	tr := NewTransport(srv.Client().Transport, HTTPConfig{Seed: 4, TruncateRate: 1, TruncateAfter: 10})
+	c := &http.Client{Transport: tr}
+	resp, err := get(t, c, srv.URL+"/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("read err = %v, want injected tear", err)
+	}
+	if len(body) != 10 {
+		t.Errorf("read %d bytes before tear, want 10", len(body))
+	}
+	if !retry.IsTransient(err) {
+		t.Error("tear error not classified transient")
+	}
+	if tr.Truncates() != 1 {
+		t.Errorf("Truncates = %d, want 1", tr.Truncates())
+	}
+}
+
+// TestHTTPRecoverAfterGuaranteesProgress: even with every rate maxed, a key
+// passes through cleanly after RecoverAfter consecutive faults, so a
+// retrying caller always completes.
+func TestHTTPRecoverAfterGuaranteesProgress(t *testing.T) {
+	var hits atomic.Uint64
+	srv := echoServer(t, &hits)
+	tr := NewTransport(srv.Client().Transport, HTTPConfig{
+		Seed: 5, DropRate: 1, ServerErrorRate: 1, BlackholeRate: 1, TruncateRate: 1, RecoverAfter: 2,
+	})
+	c := &http.Client{Transport: tr}
+	var ok bool
+	for i := 0; i < 3; i++ {
+		resp, err := get(t, c, srv.URL+"/lease")
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			if _, rerr := io.ReadAll(resp.Body); rerr == nil {
+				ok = true
+			}
+		}
+		resp.Body.Close()
+	}
+	if !ok {
+		t.Fatal("no clean round trip within RecoverAfter+1 attempts")
+	}
+	if tr.Faults() != 2 {
+		t.Errorf("Faults = %d, want 2 (capped by RecoverAfter)", tr.Faults())
+	}
+}
+
+// TestHTTPDeterministic: same seed, same request sequence, same faults.
+func TestHTTPDeterministic(t *testing.T) {
+	run := func(seed uint64) []uint64 {
+		var hits atomic.Uint64
+		srv := echoServer(t, &hits)
+		tr := NewTransport(srv.Client().Transport, HTTPConfig{
+			Seed: seed, DropRate: 0.3, ServerErrorRate: 0.2, BlackholeRate: 0.2, TruncateRate: 0.2,
+		})
+		c := &http.Client{Transport: tr}
+		paths := []string{"/lease", "/heartbeat", "/shard", "/lease", "/shard", "/heartbeat", "/status", "/shard"}
+		for _, p := range paths {
+			for i := 0; i < 4; i++ {
+				resp, err := get(t, c, srv.URL+p)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return []uint64{tr.Drops(), tr.ServerErrors(), tr.Blackholes(), tr.Truncates()}
+	}
+	a, b := run(11), run(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault counts differ across identical runs: %v vs %v", a, b)
+		}
+	}
+	if c := run(12); a[0] == c[0] && a[1] == c[1] && a[2] == c[2] && a[3] == c[3] {
+		t.Logf("warning: seeds 11 and 12 drew identical fault counts %v (possible but unlikely)", a)
+	}
+}
+
+// TestHTTPWithRetryPolicy: the intended pairing — a retry.Policy with
+// per-attempt timeouts rides out injected connection faults end to end.
+func TestHTTPWithRetryPolicy(t *testing.T) {
+	var hits atomic.Uint64
+	srv := echoServer(t, &hits)
+	tr := NewTransport(srv.Client().Transport, HTTPConfig{Seed: 6, DropRate: 1, RecoverAfter: 2})
+	c := &http.Client{Transport: tr}
+	p := retry.Policy{MaxAttempts: 4, Sleep: func(context.Context, time.Duration) error { return nil }}
+	var status int
+	err := p.DoCtx(context.Background(), func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/lease", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		status = resp.StatusCode
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retried request failed: %v", err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	if tr.Drops() != 2 {
+		t.Errorf("Drops = %d, want 2 before recovery", tr.Drops())
+	}
+}

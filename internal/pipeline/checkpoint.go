@@ -21,7 +21,13 @@ import (
 // Checkpoint shards reuse the model v2 integrity envelope (length header +
 // CRC64 trailer) under their own magic, so a truncated or bit-flipped shard
 // is rejected on resume instead of silently corrupting the build.
-var ckptMagic = []byte("AUTODETECT-CK/1\n")
+//
+// CK/2 replaced the Algorithm-R reservoir fields with bottom-k sample
+// entries (per-column selection priority + values). CK/1 shards fail the
+// magic check and are treated like any other unreadable shard: resume falls
+// back past them, and if nothing valid remains the operator is told to
+// clear the directory.
+var ckptMagic = []byte("AUTODETECT-CK/2\n")
 
 // maxCheckpointPayload caps the declared payload length a resume will
 // allocate for.
@@ -29,42 +35,17 @@ const maxCheckpointPayload = 1 << 32
 
 // checkpoint is the durable state of a partially-built corpus pass: the
 // merged statistics shard over columns [0, columns), the distant-supervision
-// reservoir at the same boundary, and the fingerprint of (source, config)
-// the build is only valid for.
+// sample entries at the same boundary, and the fingerprint of
+// (source, config) the build is only valid for.
 type checkpoint struct {
 	fingerprint string
 	columns     uint64
 	values      uint64
-	rv          *reservoir
+	entries     []sampleEntry
 	stats       []*stats.LanguageStats
 }
 
-// reservoir holds the column sample used for distant supervision. With
-// cap <= 0 every column is kept (exact legacy-Train equivalence); otherwise
-// Algorithm R with a per-index deterministic pseudo-random replacement, so
-// the sample at column boundary S depends only on (seed, columns [0,S)) —
-// never on worker scheduling, and resume continues it exactly.
-type reservoir struct {
-	cap  int
-	seed uint64
-	seen uint64
-	cols []*corpus.Column
-}
-
-func (rv *reservoir) add(c *corpus.Column) {
-	i := rv.seen
-	rv.seen++
-	if rv.cap <= 0 || len(rv.cols) < rv.cap {
-		rv.cols = append(rv.cols, c)
-		return
-	}
-	j := splitmix64(rv.seed^(i*0x9e3779b97f4a7c15)) % (i + 1)
-	if j < uint64(rv.cap) {
-		rv.cols[j] = c
-	}
-}
-
-// splitmix64 is the finalizer used for reservoir replacement decisions.
+// splitmix64 is the finalizer used for sample priorities and retry jitter.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -72,19 +53,29 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// buildFingerprint ties a checkpoint to the source content and to every
-// configuration knob that shapes the counting stage or the reservoir.
+// buildFingerprint ties a checkpoint or shard to the source content and to
+// every configuration knob that shapes the counting stage or the sample.
 // Worker count and checkpoint cadence are deliberately excluded: a build
 // may be resumed with different parallelism and still converge to the
 // byte-identical model.
-func buildFingerprint(src ColumnSource, langs []pattern.Language, smoothing float64, sampleCap int, dsSeed int64) string {
+func buildFingerprint(srcFP string, langs []pattern.Language, smoothing float64, sampleCap int, dsSeed int64) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "v1|langs=")
 	for _, l := range langs {
 		fmt.Fprintf(&sb, "%d,", l.ID)
 	}
-	fmt.Fprintf(&sb, "|smooth=%g|sample=%d|dsseed=%d|src=%s", smoothing, sampleCap, dsSeed, src.Fingerprint())
+	fmt.Fprintf(&sb, "|smooth=%g|sample=%d|dsseed=%d|src=%s", smoothing, sampleCap, dsSeed, srcFP)
 	return sb.String()
+}
+
+// BuildFingerprint resolves opts exactly like Run and CountPartial do and
+// returns the fingerprint a build over a source with fingerprint srcFP
+// would carry. The distributed-build coordinator uses it to compute the
+// expected identity of every partition's shard without opening the
+// partition itself.
+func BuildFingerprint(srcFP string, opts Options) string {
+	tc, ds, langs, _ := resolveTrain(opts)
+	return buildFingerprint(srcFP, langs, tc.Smoothing, opts.SampleColumns, ds.Seed)
 }
 
 func (c *checkpoint) marshal() ([]byte, error) {
@@ -101,14 +92,7 @@ func (c *checkpoint) marshal() ([]byte, error) {
 	wstr(c.fingerprint)
 	wu64(c.columns)
 	wu64(c.values)
-	wu64(c.rv.seen)
-	wu64(uint64(len(c.rv.cols)))
-	for _, col := range c.rv.cols {
-		wu64(uint64(len(col.Values)))
-		for _, v := range col.Values {
-			wstr(v)
-		}
-	}
+	writeSampleEntries(&buf, c.entries)
 	wu64(uint64(len(c.stats)))
 	for _, ls := range c.stats {
 		blob, err := ls.MarshalBinary()
@@ -144,7 +128,7 @@ func unmarshalCheckpoint(data []byte) (*checkpoint, error) {
 		}
 		return string(b), nil
 	}
-	c := &checkpoint{rv: &reservoir{}}
+	c := &checkpoint{}
 	var err error
 	if c.fingerprint, err = rstr(); err != nil {
 		return nil, err
@@ -155,32 +139,8 @@ func unmarshalCheckpoint(data []byte) (*checkpoint, error) {
 	if c.values, err = ru64(); err != nil {
 		return nil, err
 	}
-	if c.rv.seen, err = ru64(); err != nil {
+	if c.entries, err = readSampleEntries(r, data); err != nil {
 		return nil, err
-	}
-	ncols, err := ru64()
-	if err != nil {
-		return nil, err
-	}
-	if ncols > c.rv.seen {
-		return nil, errors.New("pipeline: corrupt checkpoint reservoir")
-	}
-	c.rv.cols = make([]*corpus.Column, ncols)
-	for i := range c.rv.cols {
-		nv, err := ru64()
-		if err != nil {
-			return nil, err
-		}
-		if nv > uint64(len(data)) {
-			return nil, errors.New("pipeline: corrupt checkpoint column length")
-		}
-		vals := make([]string, nv)
-		for j := range vals {
-			if vals[j], err = rstr(); err != nil {
-				return nil, err
-			}
-		}
-		c.rv.cols[i] = &corpus.Column{Values: vals}
 	}
 	nstats, err := ru64()
 	if err != nil {
@@ -212,6 +172,76 @@ func unmarshalCheckpoint(data []byte) (*checkpoint, error) {
 		return nil, errors.New("pipeline: trailing bytes in checkpoint")
 	}
 	return c, nil
+}
+
+// writeSampleEntries serializes the distant-supervision sample: entry count,
+// then per entry the selection priority and the length-framed values. Only
+// Values are persisted — distsup reads nothing else from a column — which
+// checkpoint round-trip tests have relied on since CK/1.
+func writeSampleEntries(buf *bytes.Buffer, entries []sampleEntry) {
+	var tmp [8]byte
+	wu64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf.Write(tmp[:])
+	}
+	wu64(uint64(len(entries)))
+	for _, e := range entries {
+		wu64(e.pri)
+		wu64(uint64(len(e.col.Values)))
+		for _, v := range e.col.Values {
+			wu64(uint64(len(v)))
+			buf.WriteString(v)
+		}
+	}
+}
+
+// readSampleEntries is the inverse of writeSampleEntries; data is the whole
+// payload, used only to bound implausible declared lengths.
+func readSampleEntries(r *bytes.Reader, data []byte) ([]sampleEntry, error) {
+	var tmp [8]byte
+	ru64 := func() (uint64, error) {
+		if _, err := io.ReadFull(r, tmp[:]); err != nil {
+			return 0, errors.New("pipeline: truncated sample")
+		}
+		return binary.LittleEndian.Uint64(tmp[:]), nil
+	}
+	n, err := ru64()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(data)) {
+		return nil, errors.New("pipeline: corrupt sample entry count")
+	}
+	entries := make([]sampleEntry, n)
+	for i := range entries {
+		if entries[i].pri, err = ru64(); err != nil {
+			return nil, err
+		}
+		nv, err := ru64()
+		if err != nil {
+			return nil, err
+		}
+		if nv > uint64(len(data)) {
+			return nil, errors.New("pipeline: corrupt sample column length")
+		}
+		vals := make([]string, nv)
+		for j := range vals {
+			vl, err := ru64()
+			if err != nil {
+				return nil, err
+			}
+			if vl > uint64(r.Len()) {
+				return nil, errors.New("pipeline: corrupt sample value length")
+			}
+			b := make([]byte, vl)
+			if _, err := io.ReadFull(r, b); err != nil {
+				return nil, errors.New("pipeline: truncated sample")
+			}
+			vals[j] = string(b)
+		}
+		entries[i].col = &corpus.Column{Values: vals}
+	}
+	return entries, nil
 }
 
 // checkpointPath names the shard for a column boundary.

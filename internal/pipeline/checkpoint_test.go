@@ -153,7 +153,6 @@ func TestCheckpointKeepK(t *testing.T) {
 		return &checkpoint{
 			fingerprint: "fp",
 			columns:     columns,
-			rv:          &reservoir{},
 		}
 	}
 	for i := uint64(1); i <= 5; i++ {

@@ -12,11 +12,14 @@
 // barriers and at stream end, then canonicalized so the final statistics
 // are byte-for-byte reproducible regardless of worker count, scheduling,
 // or checkpoint/resume boundaries. Distant-supervision columns are drawn
-// by a deterministic reservoir on the single-threaded ingestion side, so
-// the downstream calibration sees the same training pairs whatever the
-// parallelism.
+// by a deterministic mergeable bottom-k sample on the single-threaded
+// ingestion side — a pure function of the column multiset — so the
+// downstream calibration sees the same training pairs whatever the
+// parallelism, and partial builds over corpus partitions
+// (internal/distbuild) merge into the byte-identical sample of a
+// single-process pass.
 //
-// Periodic checkpoints persist the merged shard, the reservoir, and the
+// Periodic checkpoints persist the merged shard, the sample, and the
 // stream position inside the model-v2 integrity envelope; an interrupted
 // build resumes from the last barrier and converges to the byte-identical
 // model an uninterrupted build would have produced.
@@ -48,7 +51,7 @@ type Options struct {
 	// Train carries the algorithm configuration; zero fields are defaulted
 	// exactly like core.Train.
 	Train core.TrainConfig
-	// SampleColumns caps the reservoir of columns kept for distant
+	// SampleColumns caps the bottom-k sample of columns kept for distant
 	// supervision. 0 keeps every column (exact equivalence with the
 	// in-memory Train path, at the cost of holding the corpus's values);
 	// production builds over file-resident corpora should set a bound
@@ -113,6 +116,37 @@ const (
 	columnBatchSize        = 32
 )
 
+// resolveTrain applies the defaults Run documents: core.Train's training
+// defaults, the full language space, distsup.DefaultConfig, and NumCPU
+// workers. CountPartial applies the identical resolution, so a distributed
+// worker and a single-process build starting from the same Options count
+// under the same effective configuration.
+func resolveTrain(opts Options) (tc core.TrainConfig, ds distsup.Config, langs []pattern.Language, workers int) {
+	tc = opts.Train
+	if tc.TargetPrecision == 0 {
+		tc.TargetPrecision = 0.95
+	}
+	if tc.MemoryBudget == 0 {
+		tc.MemoryBudget = 64 << 20
+	}
+	if tc.Smoothing == 0 {
+		tc.Smoothing = stats.DefaultSmoothing
+	}
+	langs = tc.Languages
+	if langs == nil {
+		langs = pattern.All()
+	}
+	ds = tc.DistSup
+	if ds.PositivePairs == 0 && ds.NegativePairs == 0 {
+		ds = distsup.DefaultConfig()
+	}
+	workers = opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return tc, ds, langs, workers
+}
+
 // Run executes a full streaming build: count → merge → distant supervision
 // → calibrate → select, and returns the trained detector.
 //
@@ -128,28 +162,7 @@ func Run(ctx context.Context, src ColumnSource, opts Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	tc := opts.Train
-	if tc.TargetPrecision == 0 {
-		tc.TargetPrecision = 0.95
-	}
-	if tc.MemoryBudget == 0 {
-		tc.MemoryBudget = 64 << 20
-	}
-	if tc.Smoothing == 0 {
-		tc.Smoothing = stats.DefaultSmoothing
-	}
-	langs := tc.Languages
-	if langs == nil {
-		langs = pattern.All()
-	}
-	ds := tc.DistSup
-	if ds.PositivePairs == 0 && ds.NegativePairs == 0 {
-		ds = distsup.DefaultConfig()
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
+	tc, ds, langs, workers := resolveTrain(opts)
 	ckptEvery := opts.CheckpointEvery
 	if ckptEvery <= 0 {
 		ckptEvery = defaultCheckpointEvery
@@ -186,12 +199,12 @@ func Run(ctx context.Context, src ColumnSource, opts Options) (*Result, error) {
 	if cl, ok := src.(io.Closer); ok {
 		defer cl.Close()
 	}
-	b.fingerprint = buildFingerprint(src, langs, tc.Smoothing, opts.SampleColumns, ds.Seed)
+	b.fingerprint = buildFingerprint(src.Fingerprint(), langs, tc.Smoothing, opts.SampleColumns, ds.Seed)
 	b.base = make([]*stats.LanguageStats, len(langs))
 	for i, l := range langs {
 		b.base[i] = stats.NewLanguageStats(l, tc.Smoothing)
 	}
-	b.rv = &reservoir{cap: opts.SampleColumns, seed: uint64(ds.Seed)}
+	b.smp = newSample(opts.SampleColumns, uint64(ds.Seed))
 
 	// Resume from the newest valid shard, falling back past torn or
 	// corrupted ones.
@@ -203,9 +216,7 @@ func Run(ctx context.Context, src ColumnSource, opts Options) (*Result, error) {
 		b.corruptSkipped = len(corrupt)
 		if ck != nil {
 			b.base = ck.stats
-			b.rv = ck.rv
-			b.rv.cap = opts.SampleColumns
-			b.rv.seed = uint64(ds.Seed)
+			b.smp.restore(ck.entries)
 			b.columns.Store(ck.columns)
 			b.values.Store(ck.values)
 			b.resumed = ck.columns
@@ -240,44 +251,11 @@ func Run(ctx context.Context, src ColumnSource, opts Options) (*Result, error) {
 		return nil, errors.New("pipeline: source yielded no columns")
 	}
 
-	// Canonicalize the merged shard so downstream results do not depend on
-	// merge interleaving.
-	t0 := time.Now()
-	for _, ls := range b.base {
-		if err := ls.Canonicalize(); err != nil {
-			return nil, err
-		}
-	}
-	b.addStage(StageMerge, time.Since(t0))
-
-	b.setStage(StageDistsup)
-	t0 = time.Now()
-	sample := &corpus.Corpus{Name: "pipeline-sample", Columns: b.rv.cols}
-	data, err := distsup.Generate(sample, ds)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: generating training data: %w", err)
-	}
-	b.addStage(StageDistsup, time.Since(t0))
-
-	b.setStage(StageCalibrate)
-	t0 = time.Now()
-	cands, err := b.calibrate(ctx, data)
+	det, report, err := finalizeStats(ctx, b.base, b.smp.finalize(), tc, ds, workers, b.setStage, b.addStage)
 	if err != nil {
 		return nil, err
 	}
-	b.addStage(StageCalibrate, time.Since(t0))
-
-	b.setStage(StageSelect)
-	t0 = time.Now()
-	det, report, err := core.BuildDetector(cands, tc.MemoryBudget, tc.Aggregation, tc.SketchRatio)
-	if err != nil {
-		return nil, err
-	}
-	b.addStage(StageSelect, time.Since(t0))
 	b.met.buildDone()
-	report.CandidateLanguages = len(langs)
-	report.TrainingExamples = len(data.Examples)
-	report.CompatColumns = data.CompatColumns
 
 	if b.ckptDir != "" && !opts.KeepCheckpoints {
 		removeCheckpoints(b.ckptDir)
@@ -311,7 +289,7 @@ type build struct {
 	fingerprint string
 
 	base []*stats.LanguageStats
-	rv   *reservoir
+	smp  *sample
 
 	keepLast int
 
@@ -455,7 +433,7 @@ func (b *build) count(ctx context.Context) error {
 				srcErr = err
 				break
 			}
-			b.rv.add(col)
+			b.smp.add(col)
 			batch = append(batch, col)
 			if len(batch) == columnBatchSize {
 				batches <- batch
@@ -503,7 +481,7 @@ func (b *build) count(ctx context.Context) error {
 				fingerprint: b.fingerprint,
 				columns:     b.columns.Load(),
 				values:      b.values.Load(),
-				rv:          b.rv,
+				entries:     b.smp.entries(),
 				stats:       b.base,
 			}, b.keepLast); err != nil {
 				return err
@@ -518,21 +496,76 @@ func (b *build) count(ctx context.Context) error {
 	return nil
 }
 
-// calibrate derives per-language thresholds in parallel; results land at
+// finalizeStats runs the post-counting stages shared by Run and the
+// distributed-build coordinator: canonicalize the merged statistics, draw
+// distant-supervision training pairs from the sampled columns, calibrate
+// per-language thresholds, and select the final ensemble. The stage hooks
+// are nil-safe; Run passes its progress/metrics plumbing through them.
+func finalizeStats(ctx context.Context, base []*stats.LanguageStats, sampleCols []*corpus.Column,
+	tc core.TrainConfig, ds distsup.Config, workers int,
+	setStage func(Stage), addStage func(Stage, time.Duration)) (*core.Detector, *core.TrainReport, error) {
+	if setStage == nil {
+		setStage = func(Stage) {}
+	}
+	if addStage == nil {
+		addStage = func(Stage, time.Duration) {}
+	}
+
+	// Canonicalize the merged shard so downstream results do not depend on
+	// merge interleaving.
+	t0 := time.Now()
+	for _, ls := range base {
+		if err := ls.Canonicalize(); err != nil {
+			return nil, nil, err
+		}
+	}
+	addStage(StageMerge, time.Since(t0))
+
+	setStage(StageDistsup)
+	t0 = time.Now()
+	sample := &corpus.Corpus{Name: "pipeline-sample", Columns: sampleCols}
+	data, err := distsup.Generate(sample, ds)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pipeline: generating training data: %w", err)
+	}
+	addStage(StageDistsup, time.Since(t0))
+
+	setStage(StageCalibrate)
+	t0 = time.Now()
+	cands, err := calibrateAll(ctx, base, data, workers, tc.TargetPrecision)
+	if err != nil {
+		return nil, nil, err
+	}
+	addStage(StageCalibrate, time.Since(t0))
+
+	setStage(StageSelect)
+	t0 = time.Now()
+	det, report, err := core.BuildDetector(cands, tc.MemoryBudget, tc.Aggregation, tc.SketchRatio)
+	if err != nil {
+		return nil, nil, err
+	}
+	addStage(StageSelect, time.Since(t0))
+	report.CandidateLanguages = len(base)
+	report.TrainingExamples = len(data.Examples)
+	report.CompatColumns = data.CompatColumns
+	return det, report, nil
+}
+
+// calibrateAll derives per-language thresholds in parallel; results land at
 // their language's index, so the outcome is order-deterministic.
-func (b *build) calibrate(ctx context.Context, data *distsup.Data) ([]*core.Calibration, error) {
-	cands := make([]*core.Calibration, len(b.base))
+func calibrateAll(ctx context.Context, base []*stats.LanguageStats, data *distsup.Data, workers int, targetPrecision float64) ([]*core.Calibration, error) {
+	cands := make([]*core.Calibration, len(base))
 	idx := make(chan int)
-	errs := make(chan error, b.workers)
+	errs := make(chan error, workers)
 	var wg sync.WaitGroup
-	for w := 0; w < b.workers; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				cal, err := core.Calibrate(b.base[i], data, b.tc.TargetPrecision)
+				cal, err := core.Calibrate(base[i], data, targetPrecision)
 				if err != nil {
-					errs <- fmt.Errorf("pipeline: calibrating %v: %w", b.base[i].Language(), err)
+					errs <- fmt.Errorf("pipeline: calibrating %v: %w", base[i].Language(), err)
 					return
 				}
 				cands[i] = cal
@@ -540,7 +573,7 @@ func (b *build) calibrate(ctx context.Context, data *distsup.Data) ([]*core.Cali
 		}()
 	}
 feed:
-	for i := range b.base {
+	for i := range base {
 		select {
 		case idx <- i:
 		case <-ctx.Done():

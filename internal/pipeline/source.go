@@ -213,9 +213,53 @@ func NewDirSource(dir string, hasHeader bool) (*DirSource, error) {
 // NewDirSourceWith scans dir (recursively) for .csv and .tsv files under
 // the given fault-tolerance configuration.
 func NewDirSourceWith(dir string, cfg DirConfig) (*DirSource, error) {
+	files, sizes, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return newDirSource(dir, cfg, files, sizes)
+}
+
+// scanDir walks dir for .csv/.tsv files, returning paths (sorted, so the
+// stream order — and any partitioning of it — is deterministic) and sizes.
+func scanDir(dir string) (files []string, sizes []int64, err error) {
+	bySize := map[string]int64{}
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || strings.HasPrefix(info.Name(), ".") {
+			return nil
+		}
+		switch strings.ToLower(filepath.Ext(path)) {
+		case ".csv", ".tsv":
+			files = append(files, path)
+			bySize[path] = info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("pipeline: scanning %s: %w", dir, err)
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("pipeline: no .csv or .tsv files under %s", dir)
+	}
+	// Walk already yields lexical order; keep the invariant explicit.
+	sort.Strings(files)
+	sizes = make([]int64, len(files))
+	for i, f := range files {
+		sizes[i] = bySize[f]
+	}
+	return files, sizes, nil
+}
+
+// newDirSource builds a DirSource over an already-scanned file list.
+func newDirSource(dir string, cfg DirConfig, files []string, sizes []int64) (*DirSource, error) {
 	s := &DirSource{
 		dir:            dir,
 		hasHeader:      cfg.HasHeader,
+		files:          files,
+		sizes:          sizes,
 		cfg:            cfg,
 		pol:            cfg.Retry,
 		ctx:            context.Background(),
@@ -231,29 +275,6 @@ func NewDirSourceWith(dir string, cfg DirConfig) (*DirSource, error) {
 	if s.maxCells == 0 {
 		s.maxCells = defaultMaxColumnCells
 	}
-	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
-		if err != nil {
-			return err
-		}
-		if info.IsDir() || strings.HasPrefix(info.Name(), ".") {
-			return nil
-		}
-		switch strings.ToLower(filepath.Ext(path)) {
-		case ".csv", ".tsv":
-			s.files = append(s.files, path)
-			s.sizes = append(s.sizes, info.Size())
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: scanning %s: %w", dir, err)
-	}
-	if len(s.files) == 0 {
-		return nil, fmt.Errorf("pipeline: no .csv or .tsv files under %s", dir)
-	}
-	// Walk already yields lexical order; keep the invariant explicit.
-	sort.Strings(s.files)
-
 	s.budget = cfg.MaxBadFiles
 	if frac := int(cfg.MaxBadFrac * float64(len(s.files))); frac > s.budget {
 		s.budget = frac
@@ -585,15 +606,118 @@ func ReadQuarantineManifest(quarantineDir string) ([]QuarantineEntry, error) {
 // enter the fingerprint: the scan list is the corpus identity, and the
 // manifest (reloaded on resume) keeps the delivered stream aligned.
 func (s *DirSource) Fingerprint() string {
+	return dirFingerprint(s.dir, s.files, s.sizes, s.hasHeader)
+}
+
+// dirFingerprint is the shared identity of a directory corpus (or a
+// contiguous partition of one): the relative file list with sizes plus the
+// header flag. DirSource and DirPartitioner both use it, so a partitioned
+// build and a single-process build over the same directory agree on the
+// corpus identity byte for byte.
+func dirFingerprint(dir string, files []string, sizes []int64, hasHeader bool) string {
 	var sb strings.Builder
 	sb.WriteString("dir:")
-	for i, f := range s.files {
-		rel, err := filepath.Rel(s.dir, f)
+	for i, f := range files {
+		rel, err := filepath.Rel(dir, f)
 		if err != nil {
 			rel = f
 		}
-		fmt.Fprintf(&sb, "%s=%d;", rel, s.sizes[i])
+		fmt.Fprintf(&sb, "%s=%d;", rel, sizes[i])
 	}
-	fmt.Fprintf(&sb, "header=%v", s.hasHeader)
+	fmt.Fprintf(&sb, "header=%v", hasHeader)
 	return sb.String()
 }
+
+// A PartitionSpec names one contiguous slice of a partitioned directory
+// corpus: partition Index of Count. The file range is derived, not carried —
+// two machines that agree on (directory contents, Index, Count) derive the
+// same range, which is all a distributed-build lease needs to put on the
+// wire.
+type PartitionSpec struct {
+	Index, Count int
+}
+
+// DirPartitioner splits a directory corpus into contiguous partitions of
+// its sorted file list. Contiguity is what keeps the unbounded
+// (SampleColumns=0) distant-supervision sample exact: concatenating
+// partitions in index order reproduces the single-process stream order.
+type DirPartitioner struct {
+	dir   string
+	cfg   DirConfig
+	files []string
+	sizes []int64
+}
+
+// NewDirPartitioner scans dir once (the same scan DirSource performs) and
+// prepares it for partitioned opens.
+func NewDirPartitioner(dir string, cfg DirConfig) (*DirPartitioner, error) {
+	files, sizes, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DirPartitioner{dir: dir, cfg: cfg, files: files, sizes: sizes}, nil
+}
+
+// Files reports how many table files the directory holds.
+func (p *DirPartitioner) Files() int { return len(p.files) }
+
+// Fingerprint is the whole-directory corpus identity — identical to what a
+// DirSource over the same directory and header flag reports.
+func (p *DirPartitioner) Fingerprint() string {
+	return dirFingerprint(p.dir, p.files, p.sizes, p.cfg.HasHeader)
+}
+
+// Clamp bounds a requested partition count to what the directory supports:
+// at least 1, at most one partition per file.
+func (p *DirPartitioner) Clamp(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > len(p.files) {
+		return len(p.files)
+	}
+	return n
+}
+
+// bounds derives the half-open file range [start, end) of one partition.
+// Ranges tile the file list: partition i of n covers
+// files[i*len/n : (i+1)*len/n).
+func (p *DirPartitioner) bounds(spec PartitionSpec) (start, end int, err error) {
+	n := spec.Count
+	if n != p.Clamp(n) {
+		return 0, 0, fmt.Errorf("pipeline: partition count %d invalid for %d files", n, len(p.files))
+	}
+	if spec.Index < 0 || spec.Index >= n {
+		return 0, 0, fmt.Errorf("pipeline: partition index %d out of range [0,%d)", spec.Index, n)
+	}
+	return spec.Index * len(p.files) / n, (spec.Index + 1) * len(p.files) / n, nil
+}
+
+// Open returns a DirSource over one partition's files, with the
+// partitioner's DirConfig. The source's own fingerprint covers only the
+// partition's slice, so a shard counted from it is pinned to exactly these
+// files at these sizes.
+func (p *DirPartitioner) Open(spec PartitionSpec) (*DirSource, error) {
+	start, end, err := p.bounds(spec)
+	if err != nil {
+		return nil, err
+	}
+	return newDirSource(p.dir, p.cfg, p.files[start:end], p.sizes[start:end])
+}
+
+// PartitionFingerprint is the corpus identity of one partition — what
+// Open(spec).Fingerprint() would report, computed without constructing the
+// source. The distributed coordinator uses it to verify an uploaded shard
+// counted exactly the files the lease covered.
+func (p *DirPartitioner) PartitionFingerprint(spec PartitionSpec) (string, error) {
+	start, end, err := p.bounds(spec)
+	if err != nil {
+		return "", err
+	}
+	return dirFingerprint(p.dir, p.files[start:end], p.sizes[start:end], p.cfg.HasHeader), nil
+}
+
+// HasHeader reports the header flag the partitioner (and every partition it
+// opens) runs under — the distributed-build coordinator forwards it to
+// workers so both sides parse tables identically.
+func (p *DirPartitioner) HasHeader() bool { return p.cfg.HasHeader }

@@ -32,6 +32,16 @@ import (
 	"repro/internal/observe"
 )
 
+// DefaultRetryAfterSeconds is the shared Retry-After hint, in seconds, for
+// every back-off response the stack emits — load-shedding 429s here, the
+// jobs queue-full 429, and the distributed build coordinator's 503s — so
+// retry pacing is tuned in exactly one place.
+const DefaultRetryAfterSeconds = 5
+
+// DefaultRetryAfter is DefaultRetryAfterSeconds as a duration, for APIs
+// that take one (e.g. Limit).
+const DefaultRetryAfter = DefaultRetryAfterSeconds * time.Second
+
 // Middleware wraps an http.Handler with one hardening concern.
 type Middleware func(http.Handler) http.Handler
 

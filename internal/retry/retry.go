@@ -36,6 +36,13 @@ type Policy struct {
 	// Seed drives the deterministic jitter stream. Two Policies with the
 	// same Seed back off on the same schedule.
 	Seed uint64
+	// AttemptTimeout, when positive, bounds each individual attempt with its
+	// own context.WithTimeout derived from the call context. An attempt that
+	// dies of its per-attempt deadline while the call context is still alive
+	// is classified as transient (a hung upload is retried from scratch);
+	// the call context expiring stays fatal. Only DoCtx attempts can observe
+	// the per-attempt context; Do's op runs under the wall clock alone.
+	AttemptTimeout time.Duration
 	// Classify reports whether an error is worth retrying (default
 	// IsTransient).
 	Classify func(error) bool
@@ -59,6 +66,17 @@ const (
 // error from op (wrapped with the attempt count when attempts were
 // exhausted), or the context error when cancelled mid-backoff.
 func (p Policy) Do(ctx context.Context, op func() error) error {
+	return p.DoCtx(ctx, func(context.Context) error { return op() })
+}
+
+// DoCtx is Do for context-aware operations: each attempt receives its own
+// context, derived from ctx and — when AttemptTimeout is set — bounded by
+// a fresh per-attempt deadline, so one hung attempt (a stalled HTTP upload,
+// a wedged NFS read) is abandoned and retried instead of pinning the whole
+// call until the caller's deadline. An attempt that fails because its own
+// per-attempt deadline expired is retryable regardless of Classify; ctx
+// itself expiring ends the call with ctx's error.
+func (p Policy) DoCtx(ctx context.Context, op func(ctx context.Context) error) error {
 	attempts := p.MaxAttempts
 	if attempts <= 0 {
 		attempts = DefaultAttempts
@@ -84,10 +102,11 @@ func (p Policy) Do(ctx context.Context, op func() error) error {
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr
 		}
-		if err = op(); err == nil {
+		err = p.attempt(ctx, op)
+		if err == nil {
 			return nil
 		}
-		if !classify(err) {
+		if !classify(err) && !(p.AttemptTimeout > 0 && isAttemptTimeout(ctx, err)) {
 			return err
 		}
 		if attempt >= attempts {
@@ -101,6 +120,34 @@ func (p Policy) Do(ctx context.Context, op func() error) error {
 			return serr
 		}
 	}
+}
+
+// attempt runs op once under the per-attempt timeout, when configured.
+func (p Policy) attempt(ctx context.Context, op func(ctx context.Context) error) error {
+	if p.AttemptTimeout <= 0 {
+		return op(ctx)
+	}
+	actx, cancel := context.WithTimeout(ctx, p.AttemptTimeout)
+	defer cancel()
+	err := op(actx)
+	if err != nil && actx.Err() != nil && ctx.Err() == nil {
+		// The attempt died of its own deadline (or reacted to it) while the
+		// call context is still live: that is exactly the hung-I/O case the
+		// per-attempt timeout exists for, so mark it retryable even though
+		// bare deadline errors classify as fatal.
+		return Transient(fmt.Errorf("retry: attempt exceeded %s: %w", p.AttemptTimeout, err))
+	}
+	return err
+}
+
+// isAttemptTimeout is a second line of defence for operations that surface
+// a per-attempt deadline as a plain context.DeadlineExceeded (for example
+// an http.Client wrapping the attempt context's expiry) without the
+// attempt wrapper seeing actx.Err() first. If the error is a deadline
+// expiry but the call context is still alive, the deadline can only have
+// been the per-attempt one.
+func isAttemptTimeout(ctx context.Context, err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil
 }
 
 // backoff computes the capped exponential delay for the retry after the
@@ -119,7 +166,7 @@ func backoff(base, maxd time.Duration, attempt int, seed uint64) time.Duration {
 }
 
 // splitmix64 is the finalizer behind the jitter stream (same construction
-// as the pipeline reservoir's replacement decisions).
+// as the pipeline sample's priority hashing).
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -171,14 +218,18 @@ func Permanent(err error) error {
 
 // retryableErrnos are the syscall errors worth a second chance: interrupted
 // or would-block calls, resource exhaustion that drains (file tables),
-// timeouts, connection resets, stale NFS handles and plain EIO (which on
-// network filesystems is routinely transient).
+// timeouts, connection resets/refusals/aborts and broken pipes (a peer —
+// say a restarting coordinator — that will be back), stale NFS handles and
+// plain EIO (which on network filesystems is routinely transient).
 var retryableErrnos = []syscall.Errno{
 	syscall.EINTR,
 	syscall.EAGAIN,
 	syscall.EBUSY,
 	syscall.ETIMEDOUT,
 	syscall.ECONNRESET,
+	syscall.ECONNREFUSED,
+	syscall.ECONNABORTED,
+	syscall.EPIPE,
 	syscall.ESTALE,
 	syscall.EIO,
 	syscall.ENFILE,

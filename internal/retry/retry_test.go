@@ -165,3 +165,123 @@ func TestTransientPermanentNilPassthrough(t *testing.T) {
 		t.Error("markers must pass nil through")
 	}
 }
+
+// TestDoCtxAttemptTimeoutRetriesHungAttempt: an attempt that blocks past
+// AttemptTimeout is abandoned via its per-attempt context and retried; the
+// deadline expiry is classified transient even though a bare
+// context.DeadlineExceeded is not.
+func TestDoCtxAttemptTimeoutRetriesHungAttempt(t *testing.T) {
+	var slept []time.Duration
+	p := instant(Policy{MaxAttempts: 3, AttemptTimeout: 5 * time.Millisecond}, &slept)
+	calls := 0
+	err := p.DoCtx(context.Background(), func(ctx context.Context) error {
+		calls++
+		if calls == 1 {
+			<-ctx.Done() // hang until the per-attempt deadline kills us
+			return ctx.Err()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("DoCtx = %v, want nil after retrying the hung attempt", err)
+	}
+	if calls != 2 {
+		t.Errorf("op ran %d times, want 2", calls)
+	}
+	if len(slept) != 1 {
+		t.Errorf("slept %d times, want 1", len(slept))
+	}
+}
+
+// TestDoCtxAttemptTimeoutExhaustion: every attempt hanging burns through
+// MaxAttempts and surfaces the per-attempt timeout, not a silent hang.
+func TestDoCtxAttemptTimeoutExhaustion(t *testing.T) {
+	var slept []time.Duration
+	p := instant(Policy{MaxAttempts: 3, AttemptTimeout: time.Millisecond}, &slept)
+	calls := 0
+	err := p.DoCtx(context.Background(), func(ctx context.Context) error {
+		calls++
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if err == nil {
+		t.Fatal("DoCtx = nil, want exhaustion error")
+	}
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3", calls)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("exhaustion error %v does not wrap the attempt deadline", err)
+	}
+}
+
+// TestDoCtxParentDeadlineStaysFatal: the caller's own context expiring must
+// end the call with that error — the per-attempt classification only
+// rescues per-attempt deadlines.
+func TestDoCtxParentDeadlineStaysFatal(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	var slept []time.Duration
+	p := instant(Policy{MaxAttempts: 10, AttemptTimeout: time.Hour}, &slept)
+	calls := 0
+	err := p.DoCtx(ctx, func(actx context.Context) error {
+		calls++
+		<-actx.Done() // the parent deadline propagates into the attempt ctx
+		return actx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DoCtx = %v, want the parent deadline error", err)
+	}
+	if calls != 1 {
+		t.Errorf("op ran %d times, want 1 (no retry once the caller's deadline fired)", calls)
+	}
+}
+
+// TestDoCtxAttemptContextDerivesFromCall: attempt contexts inherit values
+// and cancellation from the call context.
+func TestDoCtxAttemptContextDerivesFromCall(t *testing.T) {
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "v")
+	p := Policy{MaxAttempts: 1, AttemptTimeout: time.Hour}
+	err := p.DoCtx(ctx, func(actx context.Context) error {
+		if actx.Value(key{}) != "v" {
+			t.Error("attempt context lost the call context's values")
+		}
+		if _, ok := actx.Deadline(); !ok {
+			t.Error("attempt context carries no deadline despite AttemptTimeout")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoCtxNoAttemptTimeoutPassesContextThrough: with AttemptTimeout unset
+// the attempt sees the caller's context unmodified (no spurious deadline)
+// and bare deadline errors keep their fatal classification.
+func TestDoCtxNoAttemptTimeoutPassesContextThrough(t *testing.T) {
+	p := Policy{MaxAttempts: 5}
+	calls := 0
+	err := p.DoCtx(context.Background(), func(actx context.Context) error {
+		calls++
+		if _, ok := actx.Deadline(); ok {
+			t.Error("attempt context has a deadline but AttemptTimeout is unset")
+		}
+		return context.DeadlineExceeded
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DoCtx = %v, want the deadline error back", err)
+	}
+	if calls != 1 {
+		t.Errorf("op ran %d times, want 1 (bare deadline errors stay fatal without AttemptTimeout)", calls)
+	}
+}
+
+func TestNetworkErrnosAreTransient(t *testing.T) {
+	for _, errno := range []syscall.Errno{syscall.ECONNREFUSED, syscall.ECONNRESET, syscall.ECONNABORTED, syscall.EPIPE} {
+		if !IsTransient(fmt.Errorf("dial: %w", errno)) {
+			t.Errorf("IsTransient(%v) = false, want true", errno)
+		}
+	}
+}

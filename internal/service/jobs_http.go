@@ -19,10 +19,8 @@ import (
 
 	"repro/internal/envelope"
 	"repro/internal/jobs"
+	"repro/internal/resilience"
 )
-
-// jobsRetryAfterSeconds is the Retry-After hint on queue-full 429s.
-const jobsRetryAfterSeconds = 5
 
 const (
 	defaultResultsPageSize = 100
@@ -108,7 +106,7 @@ func writeJobErr(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.Is(err, jobs.ErrNotFound):
 		writeErr(w, r, http.StatusNotFound, "no such job")
 	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(jobsRetryAfterSeconds))
+		w.Header().Set("Retry-After", strconv.Itoa(resilience.DefaultRetryAfterSeconds))
 		writeErr(w, r, http.StatusTooManyRequests, "job queue full, retry later")
 	case errors.Is(err, jobs.ErrClosed):
 		writeErr(w, r, http.StatusServiceUnavailable, "server draining, not accepting jobs")

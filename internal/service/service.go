@@ -216,7 +216,7 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("/v1/jobs/{id}/results", s.handleJobResults)
 
 	hardened := resilience.Chain(
-		resilience.Limit(s.MaxInFlight, time.Second),
+		resilience.Limit(s.MaxInFlight, resilience.DefaultRetryAfter),
 		resilience.Timeout(s.RequestTimeout),
 		resilience.MaxBytes(s.MaxBodyBytes),
 	)(api)
