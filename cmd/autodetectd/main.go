@@ -45,10 +45,27 @@
 // single-process `autodetect train` over the same directory and training
 // flags. Workers that crash mid-partition lose their lease after
 // -lease-ttl and the partition is reassigned.
+//
+// The versioned model registry connects producers to the serving fleet:
+//
+//	autodetectd -registry-serve -registry-dir registry/ -addr :9000
+//	autodetectd -registry-url http://registry:9000 -addr :8080
+//	autodetectd -build-coordinator ... -registry-url http://registry:9000
+//
+// -registry-serve runs the internal/registry store and HTTP API (publish,
+// list, fetch with 304 deltas, pin/rollback) behind the same hardening
+// chain as the detection API. Replicas started with -registry-url need no
+// local model file: they poll the registry's pinned version every
+// -registry-poll, download on change, verify the digest, and hot-swap
+// through the same atomic path as /v1/admin/reload. A coordinator given
+// -registry-url publishes the finalized model after writing -build-out.
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -69,19 +86,26 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/observe"
 	"repro/internal/pipeline"
+	"repro/internal/registry"
+	"repro/internal/resilience"
 	"repro/internal/retry"
 	"repro/internal/semantic"
 	"repro/internal/service"
 )
 
-// loadModelFile reads and integrity-checks a serialized model.
-func loadModelFile(path string) (*core.Detector, error) {
-	f, err := os.Open(path)
+// loadModelFile reads and integrity-checks a serialized model, reporting
+// its provenance (source "file" + content digest) alongside.
+func loadModelFile(path string) (*core.Detector, service.ModelInfo, error) {
+	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, service.ModelInfo{}, err
 	}
-	defer f.Close()
-	return core.Load(f)
+	det, err := core.Load(bytes.NewReader(raw))
+	if err != nil {
+		return nil, service.ModelInfo{}, err
+	}
+	sum := sha256.Sum256(raw)
+	return det, service.ModelInfo{Source: "file", SHA256: hex.EncodeToString(sum[:])}, nil
 }
 
 // parseLevel maps the -log-level flag onto slog levels.
@@ -118,6 +142,10 @@ func main() {
 	buildOut := flag.String("build-out", "model.bin", "finalized model output path (-build-coordinator)")
 	buildSummary := flag.String("build-summary", "", "write a JSON build summary (wall clock, lease and shard counters) to this path (-build-coordinator)")
 	leaseTTL := flag.Duration("lease-ttl", distbuild.DefaultLeaseTTL, "partition lease TTL; a worker silent this long loses its partition to reassignment (-build-coordinator)")
+	registryServe := flag.Bool("registry-serve", false, "serve the versioned model registry instead of the detection API; needs -registry-dir")
+	registryDir := flag.String("registry-dir", "", "registry storage directory (-registry-serve)")
+	registryURL := flag.String("registry-url", "", "base URL of a model registry: serving replicas pull the pinned model from it (no local model needed); -build-coordinator publishes the finalized model to it")
+	registryPoll := flag.Duration("registry-poll", registry.DefaultPoll, "pinned-version poll cadence when pulling from -registry-url")
 	jobsDir := flag.String("jobs-dir", "", "durable batch-audit job directory; enables POST /v1/jobs (empty disables)")
 	jobWorkers := flag.Int("job-workers", 2, "batch executor pool size (-jobs-dir)")
 	maxQueuedJobs := flag.Int("max-queued-jobs", 64, "queued batch jobs before submissions shed with 429 (-jobs-dir)")
@@ -172,20 +200,41 @@ func main() {
 	case *buildCoordinator && *buildWorkerURL != "":
 		fmt.Fprintln(os.Stderr, "autodetectd: -build-coordinator and -build-worker are mutually exclusive")
 		os.Exit(2)
+	case *registryServe && (*buildCoordinator || *buildWorkerURL != ""):
+		fmt.Fprintln(os.Stderr, "autodetectd: -registry-serve and the build modes are mutually exclusive")
+		os.Exit(2)
+	case *registryServe:
+		if *registryDir == "" {
+			fmt.Fprintln(os.Stderr, "autodetectd: -registry-serve needs -registry-dir")
+			os.Exit(2)
+		}
+		err := runRegistryServer(logger, reg, registryParams{
+			Dir:            *registryDir,
+			Addr:           *addr,
+			MaxInFlight:    *maxInflight,
+			RequestTimeout: *requestTimeout,
+			MaxBodyBytes:   *maxBodyBytes,
+			Drain:          *drainTimeout,
+		})
+		if err != nil {
+			fatal("registry server failed", "error", err)
+		}
+		return
 	case *buildCoordinator:
 		if *trainDir == "" || *buildState == "" {
 			fmt.Fprintln(os.Stderr, "autodetectd: -build-coordinator needs -train-dir and -build-state")
 			os.Exit(2)
 		}
 		err := runBuildCoordinator(logger, reg, coordParams{
-			TrainDir:   *trainDir,
-			StateDir:   *buildState,
-			Partitions: *buildPartitions,
-			LeaseTTL:   *leaseTTL,
-			Addr:       *addr,
-			Out:        *buildOut,
-			Summary:    *buildSummary,
-			Drain:      *drainTimeout,
+			TrainDir:    *trainDir,
+			StateDir:    *buildState,
+			Partitions:  *buildPartitions,
+			LeaseTTL:    *leaseTTL,
+			Addr:        *addr,
+			Out:         *buildOut,
+			Summary:     *buildSummary,
+			RegistryURL: *registryURL,
+			Drain:       *drainTimeout,
 			Options: pipeline.Options{
 				Workers:       *workers,
 				Train:         trainConfig(),
@@ -247,10 +296,11 @@ func main() {
 
 	var det *core.Detector
 	var sem *semantic.Model
+	var initInfo service.ModelInfo
 	switch {
 	case *modelPath != "":
 		var err error
-		det, err = loadModelFile(*modelPath)
+		det, initInfo, err = loadModelFile(*modelPath)
 		if err != nil {
 			if errors.Is(err, core.ErrCorruptModel) {
 				fatal("refusing to serve corrupt model", "model", *modelPath, "error", err)
@@ -265,6 +315,7 @@ func main() {
 		if err != nil {
 			fatal("pipeline build failed", "train_dir", *trainDir, "error", err)
 		}
+		initInfo = service.ModelInfo{Source: "train-dir"}
 	case *train:
 		logger.Info("training on synthetic corpus", "columns", *columns, "workers", *workers)
 		c := corpus.Generate(corpus.WebProfile(), *columns, *seed)
@@ -283,12 +334,18 @@ func main() {
 			logger.Warn("semantic model unavailable", "error", err)
 			sem = nil
 		}
+		initInfo = service.ModelInfo{Source: "synthetic"}
+	case *registryURL != "":
+		// No local model: start not-ready and let the registry puller
+		// deliver the first version; readyz flips once it applies.
+		logger.Info("no local model; waiting for the registry's pinned version",
+			"registry", *registryURL, "poll", registryPoll.String())
 	default:
-		fmt.Fprintln(os.Stderr, "autodetectd: need -model, -train-dir or -train")
+		fmt.Fprintln(os.Stderr, "autodetectd: need -model, -train-dir, -train or -registry-url")
 		os.Exit(2)
 	}
 
-	svc := service.New(det, sem)
+	svc := service.NewWithInfo(det, sem, initInfo)
 	svc.MaxInFlight = *maxInflight
 	svc.RequestTimeout = *requestTimeout
 	svc.MaxBodyBytes = *maxBodyBytes
@@ -320,19 +377,60 @@ func main() {
 			"job_workers", *jobWorkers, "max_queued_jobs", *maxQueuedJobs,
 			"job_timeout", jobTimeout.String(), "recovered", jobMgr.Recovered())
 	}
+	// Registry pulling: the puller polls the registry's pinned version and
+	// hot-swaps through the same atomic path as /v1/admin/reload.
+	var puller *registry.Puller
+	if *registryURL != "" {
+		var err error
+		puller, err = registry.NewPuller(registry.PullerConfig{
+			URL:  *registryURL,
+			Poll: *registryPoll,
+			Apply: func(info registry.VersionInfo, raw []byte) error {
+				d, err := core.Load(bytes.NewReader(raw))
+				if err != nil {
+					return err
+				}
+				return svc.SwapInfo(d, sem, service.ModelInfo{
+					Version: info.Version, Source: "registry",
+					SHA256: info.SHA256, PublishedUnixMs: info.PublishedUnixMs,
+				})
+			},
+			Logf:    func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) },
+			Metrics: reg,
+		})
+		if err != nil {
+			fatal("registry puller setup failed", "registry", *registryURL, "error", err)
+		}
+	}
 	switch {
+	case puller != nil:
+		// Reload forces an immediate registry poll. The puller's Apply hook
+		// already swapped on change, so the handler's follow-up swap just
+		// re-stores the model it reports on.
+		svc.Reload = func() (*core.Detector, *semantic.Model, service.ModelInfo, error) {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			if _, _, err := puller.PullNow(ctx); err != nil {
+				return nil, nil, service.ModelInfo{}, err
+			}
+			d, sm := svc.Model()
+			if d == nil {
+				return nil, nil, service.ModelInfo{}, errors.New("registry has no model published yet")
+			}
+			return d, sm, svc.Info(), nil
+		}
 	case *modelPath != "":
 		// Hot reload re-reads the model file; the semantic model (only
 		// produced by -train) is not file-backed and stays as-is.
-		svc.Reload = func() (*core.Detector, *semantic.Model, error) {
-			d, err := loadModelFile(*modelPath)
-			return d, sem, err
+		svc.Reload = func() (*core.Detector, *semantic.Model, service.ModelInfo, error) {
+			d, info, err := loadModelFile(*modelPath)
+			return d, sem, info, err
 		}
 	case *trainDir != "":
 		// Hot reload retrains over the (possibly updated) directory.
-		svc.Reload = func() (*core.Detector, *semantic.Model, error) {
+		svc.Reload = func() (*core.Detector, *semantic.Model, service.ModelInfo, error) {
 			d, err := buildFromDir()
-			return d, sem, err
+			return d, sem, service.ModelInfo{Source: "train-dir"}, err
 		}
 	}
 
@@ -344,6 +442,14 @@ func main() {
 		MaxHeaderBytes:    1 << 20,
 	}
 
+	// The puller loop starts before the listener so a model-less replica
+	// converges on the registry's pinned version as soon as it is up.
+	pullCtx, pullCancel := context.WithCancel(context.Background())
+	defer pullCancel()
+	if puller != nil {
+		go func() { _ = puller.Run(pullCtx) }()
+	}
+
 	// SIGHUP → hot reload through the same hook as /v1/admin/reload; the
 	// atomic swap means in-flight requests keep their model snapshot.
 	hup := make(chan os.Signal, 1)
@@ -351,20 +457,21 @@ func main() {
 	go func() {
 		for range hup {
 			if svc.Reload == nil {
-				logger.Warn("SIGHUP ignored: no -model file or -train-dir to reload from")
+				logger.Warn("SIGHUP ignored: no -model file, -train-dir or -registry-url to reload from")
 				continue
 			}
-			d, sm, err := svc.Reload()
+			d, sm, info, err := svc.Reload()
 			if err != nil {
 				logger.Error("SIGHUP reload failed, keeping current model", "error", err)
 				continue
 			}
-			if err := svc.Swap(d, sm); err != nil {
+			if err := svc.SwapInfo(d, sm, info); err != nil {
 				logger.Error("SIGHUP swap failed", "error", err)
 				continue
 			}
 			logger.Info("SIGHUP reload succeeded",
-				"languages", len(d.Languages()), "model_bytes", d.Bytes())
+				"languages", len(d.Languages()), "model_bytes", d.Bytes(),
+				"model_version", info.Version, "model_source", info.Source)
 		}
 	}()
 
@@ -404,15 +511,16 @@ func main() {
 
 // coordParams carries the -build-coordinator flag set.
 type coordParams struct {
-	TrainDir   string
-	StateDir   string
-	Partitions int
-	LeaseTTL   time.Duration
-	Addr       string
-	Out        string
-	Summary    string
-	Drain      time.Duration
-	Options    pipeline.Options
+	TrainDir    string
+	StateDir    string
+	Partitions  int
+	LeaseTTL    time.Duration
+	Addr        string
+	Out         string
+	Summary     string
+	RegistryURL string
+	Drain       time.Duration
+	Options     pipeline.Options
 }
 
 // buildSummary is the -build-summary payload (BENCH_distbuild.json in CI):
@@ -494,6 +602,24 @@ func runBuildCoordinator(logger *slog.Logger, reg *observe.Registry, p coordPara
 	if err := atomicio.WriteTo(p.Out, 0o644, det.Save); err != nil {
 		return err
 	}
+	if p.RegistryURL != "" {
+		// Publish the finalized model so the serving fleet picks it up.
+		// Idempotent: a rerun of a finished build re-uploads the same bytes
+		// and is acknowledged as a duplicate.
+		var buf bytes.Buffer
+		if err := det.Save(&buf); err != nil {
+			return err
+		}
+		fp := pipeline.BuildFingerprint(part.Fingerprint(), p.Options)
+		pres, err := registry.Publish(context.Background(), nil, p.RegistryURL,
+			buf.Bytes(), fp, "distbuild", retry.Policy{MaxAttempts: 10})
+		if err != nil {
+			return fmt.Errorf("model written to %s but registry publish failed: %w", p.Out, err)
+		}
+		logger.Info("model published to registry", "registry", p.RegistryURL,
+			"version", pres.Version, "status", pres.Status, "current", pres.Current,
+			"sha256", pres.SHA256)
+	}
 	st := coord.Status()
 	sum := buildSummary{
 		Partitions:      st.Partitions,
@@ -551,5 +677,87 @@ func runBuildWorker(logger *slog.Logger, coordinator, dir string, workers int) e
 	}
 	logger.Info("build worker done", "partitions_counted", st.PartitionsCounted,
 		"leases_lost", st.LeasesLost, "waits", st.Waits)
+	return nil
+}
+
+// registryParams carries the -registry-serve flag set.
+type registryParams struct {
+	Dir            string
+	Addr           string
+	MaxInFlight    int
+	RequestTimeout time.Duration
+	MaxBodyBytes   int64
+	Drain          time.Duration
+}
+
+// runRegistryServer serves the versioned model registry until
+// SIGINT/SIGTERM. The store rescans its directory on open — re-verifying
+// every stored version's digest and quarantining corrupt ones — so a
+// restarted registry never serves bytes it cannot vouch for. The API sits
+// behind the same hardening chain as the detection service; /v1/livez and
+// /metrics bypass the limiter so orchestrators and scrapes survive
+// overload.
+func runRegistryServer(logger *slog.Logger, reg *observe.Registry, p registryParams) error {
+	store, err := registry.Open(p.Dir, registry.Options{
+		Metrics: reg,
+		Logf:    func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) },
+	})
+	if err != nil {
+		return err
+	}
+	cur, pinned, versions := store.List()
+	logger.Info("registry open", "dir", p.Dir, "versions", len(versions),
+		"current", cur, "pinned", pinned)
+
+	httpMetrics := resilience.NewHTTPMetrics(reg)
+	httpMetrics.Route = registry.RouteLabel
+	hardened := resilience.Chain(
+		resilience.Limit(p.MaxInFlight, resilience.DefaultRetryAfter),
+		resilience.Timeout(p.RequestTimeout),
+		resilience.MaxBytes(p.MaxBodyBytes),
+	)(registry.NewServer(store).Handler())
+	root := http.NewServeMux()
+	root.HandleFunc("/v1/livez", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"alive"}` + "\n"))
+	})
+	root.Handle("GET /metrics", reg.Handler())
+	root.Handle("/", hardened)
+	handler := resilience.Chain(
+		resilience.RequestID(),
+		resilience.Metrics(httpMetrics),
+		resilience.AccessLog(logger),
+		resilience.Recover(func(format string, args ...any) { logger.Error(fmt.Sprintf(format, args...)) }),
+	)(root)
+
+	srv := &http.Server{
+		Addr:              p.Addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Info("registry listening", "addr", p.Addr,
+		"max_inflight", p.MaxInFlight, "request_timeout", p.RequestTimeout.String(),
+		"max_body_bytes", p.MaxBodyBytes)
+
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("registry server failed: %w", err)
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutdown signal received, draining connections", "drain_timeout", p.Drain.String())
+		shCtx, cancel := context.WithTimeout(context.Background(), p.Drain)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			logger.Error("drain incomplete, forcing close", "error", err)
+			_ = srv.Close()
+		}
+		logger.Info("shutdown complete")
+	}
 	return nil
 }

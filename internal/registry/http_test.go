@@ -1,0 +1,201 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newTestServer wires a store into an httptest server, returning both.
+func newTestServer(t *testing.T) (*Store, *httptest.Server) {
+	t.Helper()
+	st, _ := openTestStore(t, t.TempDir())
+	srv := httptest.NewServer(NewServer(st).Handler())
+	t.Cleanup(srv.Close)
+	return st, srv
+}
+
+func httpPublish(t *testing.T, base string, raw []byte, fingerprint string) (*http.Response, publishResponse) {
+	t.Helper()
+	url := base + PathModels + "?source=test"
+	if fingerprint != "" {
+		url += "&fingerprint=" + fingerprint
+	}
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr publishResponse
+	_ = json.NewDecoder(resp.Body).Decode(&pr)
+	return resp, pr
+}
+
+func TestHTTPPublishFetchPin(t *testing.T) {
+	models := testModels(t)
+	st, srv := newTestServer(t)
+
+	// Publish ladder over HTTP: accepted, duplicate, conflict, invalid.
+	resp, pr := httpPublish(t, srv.URL, models[0], "fp-1")
+	if resp.StatusCode != http.StatusOK || pr.Status != "accepted" || pr.Version != 1 {
+		t.Fatalf("publish: status=%d body=%+v", resp.StatusCode, pr)
+	}
+	resp, pr = httpPublish(t, srv.URL, models[0], "fp-1")
+	if resp.StatusCode != http.StatusOK || pr.Status != "duplicate" || pr.Version != 1 {
+		t.Fatalf("duplicate: status=%d body=%+v", resp.StatusCode, pr)
+	}
+	resp, _ = httpPublish(t, srv.URL, models[1], "fp-1")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflict: status=%d, want 409", resp.StatusCode)
+	}
+	resp, _ = httpPublish(t, srv.URL, []byte("garbage"), "")
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("invalid publish: status=%d retry-after=%q, want 503 + Retry-After",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// GET current: headers + exact bytes.
+	resp, err := http.Get(srv.URL + PathModels + "/current")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(raw, models[0]) {
+		t.Fatalf("get current: status=%d, bytes-match=%t", resp.StatusCode, bytes.Equal(raw, models[0]))
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" || resp.Header.Get(HeaderVersion) != "1" || resp.Header.Get(HeaderSHA256) == "" {
+		t.Fatalf("get current headers: etag=%q version=%q", etag, resp.Header.Get(HeaderVersion))
+	}
+
+	// Conditional re-poll: 304, no body, counted.
+	before := st.met.notModified.Value()
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+PathModels+"/current", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("conditional poll: status=%d body=%d bytes, want 304 with no body", resp.StatusCode, len(body))
+	}
+	if after := st.met.notModified.Value(); after != before+1 {
+		t.Fatalf("not_modified counter: %v → %v, want +1", before, after)
+	}
+
+	// Publish v2; the old validator now misses and the full body returns.
+	if resp, pr = httpPublish(t, srv.URL, models[1], "fp-2"); pr.Version != 2 {
+		t.Fatalf("publish v2: %+v", pr)
+	}
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+PathModels+"/current", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(raw, models[1]) {
+		t.Fatalf("changed poll: status=%d, want 200 with v2 bytes", resp.StatusCode)
+	}
+
+	// List reflects both versions.
+	resp, err = http.Get(srv.URL + PathModels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lr listResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if lr.Current != 2 || lr.Pinned || len(lr.Versions) != 2 {
+		t.Fatalf("list: %+v", lr)
+	}
+
+	// Pin v1 over HTTP: rollback reported, current flips.
+	resp, body2 := postPin(t, srv.URL, `{"version": 1}`)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body2, `"rollback":true`) {
+		t.Fatalf("pin: status=%d body=%s", resp.StatusCode, body2)
+	}
+	if cur, pinnedFlag, _ := st.List(); cur != 1 || !pinnedFlag {
+		t.Fatalf("after pin: current=%d pinned=%t", cur, pinnedFlag)
+	}
+	// Unpin to latest.
+	if resp, _ = postPin(t, srv.URL, `{"latest": true}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("unpin: status=%d", resp.StatusCode)
+	}
+	if cur, pinnedFlag, _ := st.List(); cur != 2 || pinnedFlag {
+		t.Fatalf("after unpin: current=%d pinned=%t", cur, pinnedFlag)
+	}
+
+	// Error paths: missing version, bad version, bad pin body.
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{PathModels + "/99", http.StatusNotFound},
+		{PathModels + "/zero", http.StatusBadRequest},
+	} {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s: status=%d, want %d", tc.path, resp.StatusCode, tc.want)
+		}
+	}
+	if resp, _ := postPin(t, srv.URL, `{"version": 99}`); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pin missing: status=%d, want 404", resp.StatusCode)
+	}
+	if resp, _ := postPin(t, srv.URL, `{}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty pin: status=%d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPGetBeforeFirstPublish(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + PathModels + "/current")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("empty registry current: status=%d, want 404", resp.StatusCode)
+	}
+}
+
+func TestRouteLabelBounded(t *testing.T) {
+	for path, want := range map[string]string{
+		PathModels:              PathModels,
+		PathModels + "/17":      PathModels + "/{version}",
+		PathModels + "/current": PathModels + "/{version}",
+		PathPin:                 PathPin,
+		"/metrics":              "/metrics",
+		"/anything/else":        "other",
+	} {
+		r := httptest.NewRequest(http.MethodGet, path, nil)
+		if got := RouteLabel(r); got != want {
+			t.Errorf("RouteLabel(%s) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func postPin(t *testing.T, base, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(base+PathPin, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp, string(raw)
+}

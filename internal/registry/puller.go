@@ -1,0 +1,318 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/observe"
+	"repro/internal/retry"
+)
+
+// DefaultPoll is the fleet polling cadence when PullerConfig.Poll is zero.
+const DefaultPoll = 5 * time.Second
+
+// errNoModel marks a poll against a registry that has nothing published
+// yet — not a failure, just "check back later".
+var errNoModel = errors.New("registry: no model published yet")
+
+// PullerConfig configures NewPuller.
+type PullerConfig struct {
+	// URL is the registry base URL, e.g. "http://registry:8080". Required.
+	URL string
+	// Poll is the conditional-poll cadence (default DefaultPoll).
+	Poll time.Duration
+	// HTTP issues the registry calls (default http.DefaultClient). Tests
+	// inject fault-injecting transports here.
+	HTTP *http.Client
+	// Retry shapes each poll round. Zero-value fields take the retry
+	// package defaults; AttemptTimeout additionally defaults to a minute
+	// so one hung download is abandoned and restarted.
+	Retry retry.Policy
+	// MaxModelBytes caps accepted downloads (default DefaultMaxModelBytes).
+	MaxModelBytes int64
+	// Apply receives each newly pulled version's digest-verified bytes.
+	// Returning an error keeps the puller on its old version; the same
+	// version is retried on the next poll. Required.
+	Apply func(info VersionInfo, raw []byte) error
+	// Logf, when set, receives one line per puller event (nil discards).
+	Logf func(format string, args ...any)
+	// Metrics, when set, receives the replica-side
+	// autodetect_registry_client_* families.
+	Metrics *observe.Registry
+}
+
+// Puller keeps one replica converged on the registry's pinned version: it
+// conditionally polls GET /registry/v1/models/current (unchanged polls are
+// 304s with no body), downloads on change under the retry policy, verifies
+// the SHA-256 digest against the response header, and hands the bytes to
+// Apply. Registry restarts and 503s are ridden out: a failed round is
+// logged and the next tick tries again, forever.
+type Puller struct {
+	cfg    PullerConfig
+	client *http.Client
+	logf   func(format string, args ...any)
+	met    *pullerMetrics
+
+	// mu serializes poll rounds: the Run loop and a forced PullNow from
+	// the admin-reload path may race, and Apply must never run twice
+	// concurrently. etag is the validator of the last applied version;
+	// version mirrors it for logging.
+	mu      sync.Mutex
+	etag    string
+	version int
+}
+
+// NewPuller validates cfg and returns a puller; call Run to start polling.
+func NewPuller(cfg PullerConfig) (*Puller, error) {
+	if cfg.URL == "" {
+		return nil, errors.New("registry: PullerConfig.URL is required")
+	}
+	if cfg.Apply == nil {
+		return nil, errors.New("registry: PullerConfig.Apply is required")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = DefaultPoll
+	}
+	if cfg.MaxModelBytes <= 0 {
+		cfg.MaxModelBytes = DefaultMaxModelBytes
+	}
+	if cfg.Retry.AttemptTimeout == 0 {
+		cfg.Retry.AttemptTimeout = time.Minute
+	}
+	p := &Puller{cfg: cfg, client: cfg.HTTP, logf: cfg.Logf, met: newPullerMetrics(cfg.Metrics)}
+	if p.client == nil {
+		p.client = http.DefaultClient
+	}
+	if p.logf == nil {
+		p.logf = func(string, ...any) {}
+	}
+	return p, nil
+}
+
+// Version reports the last applied registry version (0 before the first
+// successful pull).
+func (p *Puller) Version() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.version
+}
+
+// Run polls until ctx ends. Every failure is absorbed: the registry being
+// down, restarting, or serving 503s delays convergence, never kills the
+// replica. Returns ctx.Err().
+func (p *Puller) Run(ctx context.Context) error {
+	tick := time.NewTicker(p.cfg.Poll)
+	defer tick.Stop()
+	for {
+		if _, _, err := p.PullNow(ctx); err != nil && ctx.Err() == nil {
+			p.met.inc(p.met.errors)
+			p.logf("registry puller: poll failed, retrying next tick: %v", err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// PullNow performs one poll round immediately (also the force-pull behind
+// /v1/admin/reload when the daemon serves from a registry). It reports the
+// applied version and changed=true when a new version was downloaded and
+// applied; changed=false means the registry confirmed the current version
+// is still what this replica serves (or has nothing published yet).
+func (p *Puller) PullNow(ctx context.Context) (VersionInfo, bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var info VersionInfo
+	var raw []byte
+	changed := false
+	start := time.Now()
+	err := p.cfg.Retry.DoCtx(ctx, func(actx context.Context) error {
+		p.met.inc(p.met.polls)
+		req, err := http.NewRequestWithContext(actx, http.MethodGet,
+			p.cfg.URL+PathModels+"/current", nil)
+		if err != nil {
+			return err
+		}
+		if p.etag != "" {
+			req.Header.Set("If-None-Match", p.etag)
+		}
+		resp, err := p.client.Do(req)
+		if err != nil {
+			// Transport-level failures (resets, refused connections during a
+			// registry restart, injected faults) are transient: polling is
+			// idempotent, re-asking is always safe.
+			return retry.Transient(err)
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNotModified:
+			io.Copy(io.Discard, resp.Body)
+			p.met.inc(p.met.notModified)
+			changed = false
+			return nil
+		case resp.StatusCode == http.StatusOK:
+			body, rerr := io.ReadAll(io.LimitReader(resp.Body, p.cfg.MaxModelBytes+1))
+			if rerr != nil {
+				return retry.Transient(fmt.Errorf("registry: download interrupted: %w", rerr))
+			}
+			if int64(len(body)) > p.cfg.MaxModelBytes {
+				return fmt.Errorf("registry: model exceeds %d-byte cap", p.cfg.MaxModelBytes)
+			}
+			want := resp.Header.Get(HeaderSHA256)
+			if want == "" {
+				return errors.New("registry: response missing " + HeaderSHA256)
+			}
+			if got := shaHex(body); got != want {
+				// A torn body that slipped past Content-Length, or a proxy
+				// mangled the payload: re-download.
+				return retry.Transient(fmt.Errorf(
+					"registry: downloaded bytes hash to %s, registry says %s", got[:12], want[:12]))
+			}
+			v, verr := strconv.Atoi(resp.Header.Get(HeaderVersion))
+			if verr != nil || v < 1 {
+				return fmt.Errorf("registry: bad %s header %q", HeaderVersion, resp.Header.Get(HeaderVersion))
+			}
+			published, _ := strconv.ParseInt(resp.Header.Get(HeaderPublished), 10, 64)
+			info = VersionInfo{
+				Version:         v,
+				SHA256:          want,
+				Bytes:           int64(len(body)),
+				Source:          resp.Header.Get(HeaderSource),
+				PublishedUnixMs: published,
+			}
+			raw = body
+			changed = true
+			return nil
+		case resp.StatusCode == http.StatusNotFound:
+			io.Copy(io.Discard, resp.Body)
+			return errNoModel
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			return retry.Transient(errors.New(httpMessage(resp)))
+		default:
+			return errors.New(httpMessage(resp))
+		}
+	})
+	if errors.Is(err, errNoModel) {
+		// Nothing published yet: quietly poll again next tick.
+		return VersionInfo{}, false, nil
+	}
+	if err != nil {
+		return VersionInfo{}, false, err
+	}
+	if !changed {
+		return VersionInfo{Version: p.version}, false, nil
+	}
+	if err := p.cfg.Apply(info, raw); err != nil {
+		return VersionInfo{}, false, fmt.Errorf("registry: applying v%d: %w", info.Version, err)
+	}
+	p.etag = `"` + info.SHA256 + `"`
+	prev := p.version
+	p.version = info.Version
+	p.met.inc(p.met.pulls)
+	p.met.observePull(time.Since(start).Seconds())
+	p.logf("registry puller: applied v%d (%d bytes, sha %s, was v%d)",
+		info.Version, info.Bytes, info.SHA256[:12], prev)
+	return info, true, nil
+}
+
+// PublishResult is what Publish reports back to the producer.
+type PublishResult struct {
+	Status  string `json:"status"` // "accepted" or "duplicate"
+	Version int    `json:"version"`
+	SHA256  string `json:"sha256"`
+	Bytes   int64  `json:"bytes"`
+	Current int    `json:"current"`
+}
+
+// Publish uploads model bytes to a registry under a retry policy — the
+// producer-side client used by the distbuild coordinator's finalize step
+// and `autodetect train`. Transport failures, 429s, and 5xx answers are
+// retried (publish is idempotent: a retry of a landed upload is
+// acknowledged as a duplicate); a 409 conflict is permanent.
+func Publish(ctx context.Context, client *http.Client, baseURL string, raw []byte, fingerprint, source string, pol retry.Policy) (PublishResult, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if pol.AttemptTimeout == 0 {
+		pol.AttemptTimeout = time.Minute
+	}
+	url := baseURL + PathModels + "?fingerprint=" + urlQueryEscape(fingerprint) + "&source=" + urlQueryEscape(source)
+	var res PublishResult
+	err := pol.DoCtx(ctx, func(actx context.Context) error {
+		req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := client.Do(req)
+		if err != nil {
+			return retry.Transient(err)
+		}
+		defer resp.Body.Close()
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if err := json.Unmarshal(body, &res); err != nil {
+				if rerr != nil {
+					err = rerr
+				}
+				// Torn response to a landed upload: re-ask, the registry
+				// answers "duplicate".
+				return retry.Transient(fmt.Errorf("registry: bad publish response: %w", err))
+			}
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			return retry.Transient(errors.New(httpMessage(resp, body...)))
+		default:
+			return errors.New(httpMessage(resp, body...))
+		}
+	})
+	return res, err
+}
+
+// httpMessage renders an error response, favoring the JSON error
+// envelope's message when present. The body is read here unless the
+// caller already consumed it and passes the bytes along.
+func httpMessage(resp *http.Response, body ...byte) string {
+	raw := body
+	if raw == nil {
+		raw, _ = io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	}
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+		return fmt.Sprintf("registry answered %d: %s", resp.StatusCode, eb.Error)
+	}
+	return fmt.Sprintf("registry answered %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+}
+
+// urlQueryEscape is the tiny subset of url.QueryEscape needed for
+// fingerprints (hex) and source names, kept dependency-light.
+func urlQueryEscape(s string) string {
+	const hexDigits = "0123456789ABCDEF"
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.' || c == '~' {
+			b.WriteByte(c)
+			continue
+		}
+		b.WriteByte('%')
+		b.WriteByte(hexDigits[c>>4])
+		b.WriteByte(hexDigits[c&0xf])
+	}
+	return b.String()
+}

@@ -5,6 +5,7 @@ import (
 	"net/http/pprof"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/observe"
@@ -15,12 +16,13 @@ import (
 // serverObs holds the server's metric handles, created once on first
 // Handler/Swap use from the configured Metrics registry.
 type serverObs struct {
-	reg         *observe.Registry
-	http        *resilience.HTTPMetrics
-	modelLoaded *observe.Gauge   // autodetect_model_loaded
-	modelBytes  *observe.Gauge   // autodetect_model_bytes
-	modelLangs  *observe.Gauge   // autodetect_model_languages
-	swaps       *observe.Counter // autodetect_model_swaps_total
+	reg          *observe.Registry
+	http         *resilience.HTTPMetrics
+	modelLoaded  *observe.Gauge   // autodetect_model_loaded
+	modelBytes   *observe.Gauge   // autodetect_model_bytes
+	modelLangs   *observe.Gauge   // autodetect_model_languages
+	modelVersion *observe.Gauge   // autodetect_model_version
+	swaps        *observe.Counter // autodetect_model_swaps_total
 }
 
 // knownRoutes is the bounded route-label set; anything else — scans,
@@ -73,8 +75,23 @@ func (s *Server) observability() *serverObs {
 			"Statistics footprint of the served model in bytes.")
 		o.modelLangs = reg.Gauge("autodetect_model_languages",
 			"Generalization languages in the served model's ensemble.")
+		o.modelVersion = reg.Gauge("autodetect_model_version",
+			"Registry version of the served model (0 when not registry-sourced); the "+
+				"fleet-convergence signal a rollout watches per replica.")
 		o.swaps = reg.Counter("autodetect_model_swaps_total",
 			"Model hot-swaps since start (reloads via SIGHUP or /v1/admin/reload).")
+		reg.GaugeFunc("autodetect_model_age_seconds",
+			"Seconds since the served model was published (registry-sourced) or loaded.",
+			func() float64 {
+				m := s.snapshot()
+				if m == nil {
+					return 0
+				}
+				if m.info.PublishedUnixMs > 0 {
+					return time.Since(time.UnixMilli(m.info.PublishedUnixMs)).Seconds()
+				}
+				return time.Since(m.loaded).Seconds()
+			})
 
 		// Detection hot-path counters live in their packages as striped
 		// atomics; expose them at scrape time.
@@ -109,11 +126,13 @@ func (s *Server) syncModelGauges() {
 		s.obs.modelLoaded.Set(0)
 		s.obs.modelBytes.Set(0)
 		s.obs.modelLangs.Set(0)
+		s.obs.modelVersion.Set(0)
 		return
 	}
 	s.obs.modelLoaded.Set(1)
 	s.obs.modelBytes.Set(float64(m.det.Bytes()))
 	s.obs.modelLangs.Set(float64(len(m.det.Languages())))
+	s.obs.modelVersion.Set(float64(m.info.Version))
 }
 
 // Registry returns the server's metrics registry (creating the default

@@ -280,8 +280,8 @@ func TestAdminReload(t *testing.T) {
 	// With a hook the model is swapped and summarized.
 	reloaded := roundtrip(t, det)
 	svc = New(det, sem)
-	svc.Reload = func() (*core.Detector, *semantic.Model, error) {
-		return reloaded, nil, nil
+	svc.Reload = func() (*core.Detector, *semantic.Model, ModelInfo, error) {
+		return reloaded, nil, ModelInfo{Source: "test"}, nil
 	}
 	s = httptest.NewServer(svc.Handler())
 	defer s.Close()
@@ -305,8 +305,8 @@ func TestAdminReload(t *testing.T) {
 	}
 
 	// A failing hook keeps the old model.
-	svc.Reload = func() (*core.Detector, *semantic.Model, error) {
-		return nil, nil, fmt.Errorf("disk on fire")
+	svc.Reload = func() (*core.Detector, *semantic.Model, ModelInfo, error) {
+		return nil, nil, ModelInfo{}, fmt.Errorf("disk on fire")
 	}
 	resp, _ = postJSON(t, s.URL+"/v1/admin/reload", nil)
 	if resp.StatusCode != http.StatusInternalServerError {

@@ -47,11 +47,30 @@ import (
 	"repro/internal/semantic"
 )
 
+// ModelInfo records where the served model came from — file path reload,
+// in-process training, or a registry pull — so health responses, reload
+// logs, and the model_version gauge can say which version a replica runs.
+// The zero value means "provenance unknown" and is always valid.
+type ModelInfo struct {
+	// Version is the registry version number (0 when not registry-sourced).
+	Version int `json:"version,omitempty"`
+	// Source names the provenance: "file", "train-dir", "synthetic",
+	// "registry", ...
+	Source string `json:"source,omitempty"`
+	// SHA256 is the hex digest of the serialized model bytes, when known.
+	SHA256 string `json:"sha256,omitempty"`
+	// PublishedUnixMs is when this model was published/built, when known;
+	// the model_age_seconds gauge derives from it.
+	PublishedUnixMs int64 `json:"published_unix_ms,omitempty"`
+}
+
 // model pairs the pattern detector with the optional value-level semantic
-// model so both swap atomically on reload.
+// model so both swap atomically on reload, plus the provenance of the pair.
 type model struct {
-	det *core.Detector
-	sem *semantic.Model
+	det    *core.Detector
+	sem    *semantic.Model
+	info   ModelInfo
+	loaded time.Time
 }
 
 // Server serves error-detection requests from a trained detector and an
@@ -79,9 +98,9 @@ type Server struct {
 	// <= 0 disables).
 	RequestTimeout time.Duration
 	// Reload, when set, is invoked by POST /v1/admin/reload (and by the
-	// daemon's SIGHUP handler) to produce a replacement model. A nil hook
-	// makes the endpoint answer 501.
-	Reload func() (*core.Detector, *semantic.Model, error)
+	// daemon's SIGHUP handler) to produce a replacement model plus its
+	// provenance. A nil hook makes the endpoint answer 501.
+	Reload func() (*core.Detector, *semantic.Model, ModelInfo, error)
 	// Logf receives panic reports and reload outcomes (nil discards).
 	// Deprecated in favour of Logger; kept for callers that only have a
 	// printf-shaped sink.
@@ -105,6 +124,12 @@ type Server struct {
 // New returns a server; sem may be nil to disable value-level checks, and
 // det may be nil to start not-ready (readyz answers 503 until Swap).
 func New(det *core.Detector, sem *semantic.Model) *Server {
+	return NewWithInfo(det, sem, ModelInfo{})
+}
+
+// NewWithInfo is New with the initial model's provenance attached, so the
+// first /v1/health already reports where the model came from.
+func NewWithInfo(det *core.Detector, sem *semantic.Model, info ModelInfo) *Server {
 	s := &Server{
 		MaxValues:      10000,
 		MaxTableValues: 100000,
@@ -114,7 +139,7 @@ func New(det *core.Detector, sem *semantic.Model) *Server {
 		RequestTimeout: 30 * time.Second,
 	}
 	if det != nil {
-		s.cur.Store(&model{det: det, sem: sem})
+		s.cur.Store(&model{det: det, sem: sem, info: info, loaded: time.Now()})
 	}
 	return s
 }
@@ -122,13 +147,28 @@ func New(det *core.Detector, sem *semantic.Model) *Server {
 // Swap atomically replaces the served model. In-flight requests finish
 // against whichever model they snapshotted; new requests see the new one.
 func (s *Server) Swap(det *core.Detector, sem *semantic.Model) error {
+	return s.SwapInfo(det, sem, ModelInfo{})
+}
+
+// SwapInfo is Swap with the replacement model's provenance attached; the
+// registry puller swaps through here so the version gauge and health
+// endpoint track the fleet's served version.
+func (s *Server) SwapInfo(det *core.Detector, sem *semantic.Model, info ModelInfo) error {
 	if det == nil {
 		return errors.New("service: cannot swap in a nil detector")
 	}
-	s.cur.Store(&model{det: det, sem: sem})
+	s.cur.Store(&model{det: det, sem: sem, info: info, loaded: time.Now()})
 	s.observability().swaps.Inc()
 	s.syncModelGauges()
 	return nil
+}
+
+// Info returns the served model's provenance (zero before the first load).
+func (s *Server) Info() ModelInfo {
+	if m := s.snapshot(); m != nil {
+		return m.info
+	}
+	return ModelInfo{}
 }
 
 // snapshot returns the current model, or nil before the first Swap.
@@ -197,6 +237,11 @@ type healthResponse struct {
 	Languages int    `json:"languages"`
 	Bytes     int    `json:"bytes"`
 	Semantic  bool   `json:"semantic"`
+	// Model provenance: registry version, source, and digest of the served
+	// model, when known.
+	Version int    `json:"version,omitempty"`
+	Source  string `json:"source,omitempty"`
+	SHA256  string `json:"sha256,omitempty"`
 }
 
 // Handler returns the HTTP handler with the hardening chain applied.
@@ -336,6 +381,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Languages: len(m.det.Languages()),
 		Bytes:     m.det.Bytes(),
 		Semantic:  m.sem != nil,
+		Version:   m.info.Version,
+		Source:    m.info.Source,
+		SHA256:    m.info.SHA256,
 	})
 }
 
@@ -348,22 +396,26 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusNotImplemented, "no reload hook configured")
 		return
 	}
-	det, sem, err := s.Reload()
+	det, sem, info, err := s.Reload()
 	if err != nil {
 		s.logf("reload failed: %v", err)
 		writeErr(w, r, http.StatusInternalServerError, "reload failed: "+err.Error())
 		return
 	}
-	if err := s.Swap(det, sem); err != nil {
+	if err := s.SwapInfo(det, sem, info); err != nil {
 		writeErr(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
-	s.logf("reload succeeded: %d languages, %d bytes", len(det.Languages()), det.Bytes())
+	s.logf("reload succeeded: %d languages, %d bytes, version %d, source %q",
+		len(det.Languages()), det.Bytes(), info.Version, info.Source)
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:    "reloaded",
 		Languages: len(det.Languages()),
 		Bytes:     det.Bytes(),
 		Semantic:  sem != nil,
+		Version:   info.Version,
+		Source:    info.Source,
+		SHA256:    info.SHA256,
 	})
 }
 
