@@ -19,6 +19,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -107,6 +108,7 @@ func cmdTrain(args []string) error {
 	budget := fs.Int("budget", 64, "memory budget in MB")
 	precision := fs.Float64("precision", 0.95, "target precision P")
 	seed := fs.Int64("seed", 1, "random seed")
+	traceOut := fs.String("trace-out", "", "record the train run in a flight recorder and write its span timeline (JSON) to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -174,8 +176,38 @@ func cmdTrain(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// With -trace-out, the run records into a private flight recorder
+	// (sampling off: there is exactly one trace and we want it) and the
+	// completed timeline is written as a JSON artifact.
+	var tracer *observe.Tracer
+	if *traceOut != "" {
+		tracer = observe.NewTracer(observe.NewFlightRecorder(observe.RecorderConfig{SampleEvery: 1}), nil)
+		ctx = observe.ContextWithTracer(ctx, tracer)
+	}
+	trainCtx, endTrain := observe.RecorderSpan(ctx, "train")
+	dumpTrace := func() error {
+		endTrain()
+		if tracer == nil {
+			return nil
+		}
+		traces := tracer.Recorder().Snapshot(observe.TraceFilter{})
+		if len(traces) == 0 {
+			return nil
+		}
+		raw, err := json.MarshalIndent(traces[0], "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := atomicio.WriteFile(*traceOut, raw, 0o644); err != nil {
+			return err
+		}
+		logger.Info("trace written", "trace_out", *traceOut,
+			"trace_id", traces[0].TraceID, "spans", len(traces[0].Spans))
+		return nil
+	}
+
 	logger.Info("training", "workers", *workers, "candidate_languages", 144)
-	res, err := pipeline.Run(ctx, src, pipeline.Options{
+	res, err := pipeline.Run(trainCtx, src, pipeline.Options{
 		Workers:         *workers,
 		Train:           cfg,
 		SampleColumns:   *sample,
@@ -188,8 +220,13 @@ func cmdTrain(args []string) error {
 		if errors.Is(err, context.Canceled) && *checkpoint != "" {
 			logger.Warn("interrupted; rerun the same command to resume", "checkpoint", *checkpoint)
 		}
+		observe.SetSpanError(trainCtx, err.Error())
+		if derr := dumpTrace(); derr != nil {
+			logger.Warn("trace artifact not written", "error", derr)
+		}
 		return err
 	}
+	observe.SetSpanAttr(trainCtx, "columns", strconv.FormatUint(res.Columns, 10))
 	rep := res.Report
 	logger.Info("trained", "columns", res.Columns, "values", res.Values,
 		"elapsed", res.Elapsed.Round(10*time.Millisecond).String(),
@@ -217,7 +254,7 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	logger.Info("model written", "out", *out, "model_bytes", rep.SelectedBytes)
-	return nil
+	return dumpTrace()
 }
 
 func loadModel(path string) (*core.Detector, error) {

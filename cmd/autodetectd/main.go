@@ -152,6 +152,8 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job execution deadline; expired jobs fail (0 disables, -jobs-dir)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "connection-draining budget on shutdown")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof (off by default: profiles leak memory contents)")
+	traceDebug := flag.Bool("trace-debug", false, "expose the in-process flight recorder under /debug/traces (off by default: traces carry request attributes)")
+	traceSample := flag.Int("trace-sample", 0, "keep every Kth non-error, non-slow trace in the flight recorder (0 = recorder default, negative = errors and slowest only)")
 	logFormat := flag.String("log-format", "text", "log output format: text (logfmt) or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
@@ -185,6 +187,15 @@ func main() {
 	// hot-path counters all land on the same /metrics page.
 	reg := observe.NewRegistry()
 
+	// One tracer spans the process, too: every mode records spans into the
+	// same flight recorder, every mode can expose it on /debug/traces, and
+	// cross-process hops (coordinator→worker, publish→pull) carry the
+	// trace in a traceparent header so one build or request is one
+	// timeline across the fleet.
+	recorder := observe.NewFlightRecorder(observe.RecorderConfig{SampleEvery: *traceSample})
+	recorder.Register(reg)
+	tracer := observe.NewTracer(recorder, nil)
+
 	trainConfig := func() core.TrainConfig {
 		cfg := core.DefaultTrainConfig()
 		ds := distsup.DefaultConfig()
@@ -215,6 +226,9 @@ func main() {
 			RequestTimeout: *requestTimeout,
 			MaxBodyBytes:   *maxBodyBytes,
 			Drain:          *drainTimeout,
+			Tracer:         tracer,
+			Pprof:          *enablePprof,
+			TraceDebug:     *traceDebug,
 		})
 		if err != nil {
 			fatal("registry server failed", "error", err)
@@ -235,6 +249,9 @@ func main() {
 			Summary:     *buildSummary,
 			RegistryURL: *registryURL,
 			Drain:       *drainTimeout,
+			Tracer:      tracer,
+			Pprof:       *enablePprof,
+			TraceDebug:  *traceDebug,
 			Options: pipeline.Options{
 				Workers:       *workers,
 				Train:         trainConfig(),
@@ -251,7 +268,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "autodetectd: -build-worker needs -train-dir (the local corpus copy)")
 			os.Exit(2)
 		}
-		if err := runBuildWorker(logger, *buildWorkerURL, *trainDir, *workers); err != nil {
+		if err := runBuildWorker(logger, tracer, *buildWorkerURL, *trainDir, *workers); err != nil {
 			fatal("build worker failed", "error", err)
 		}
 		return
@@ -353,6 +370,8 @@ func main() {
 	svc.Logger = logger
 	svc.Metrics = reg
 	svc.EnablePprof = *enablePprof
+	svc.Tracer = tracer
+	svc.EnableTraceDebug = *traceDebug
 
 	// Batch audit jobs: durable queue + executor under -jobs-dir. Opened
 	// before the listener so jobs interrupted by the previous shutdown are
@@ -368,6 +387,7 @@ func main() {
 			Model:      svc.Model,
 			Metrics:    reg,
 			Logger:     logger,
+			Tracer:     tracer,
 		})
 		if err != nil {
 			fatal("batch job manager failed to open", "jobs_dir", *jobsDir, "error", err)
@@ -397,6 +417,7 @@ func main() {
 			},
 			Logf:    func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) },
 			Metrics: reg,
+			Tracer:  tracer,
 		})
 		if err != nil {
 			fatal("registry puller setup failed", "registry", *registryURL, "error", err)
@@ -520,6 +541,9 @@ type coordParams struct {
 	Summary     string
 	RegistryURL string
 	Drain       time.Duration
+	Tracer      *observe.Tracer
+	Pprof       bool
+	TraceDebug  bool
 	Options     pipeline.Options
 }
 
@@ -557,14 +581,23 @@ func runBuildCoordinator(logger *slog.Logger, reg *observe.Registry, p coordPara
 		LeaseTTL:   p.LeaseTTL,
 		Options:    p.Options,
 		Metrics:    reg,
+		Tracer:     p.Tracer,
 		Logf:       func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) },
 	})
 	if err != nil {
 		return err
 	}
+	// Finalize the build's root span no matter how the build ends, so the
+	// trace lands in the flight recorder (EndTrace is idempotent).
+	defer coord.EndTrace()
 	mux := http.NewServeMux()
 	mux.Handle("/", coord.Handler())
 	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("/debug/", observe.DebugHandler(observe.DebugOptions{
+		Pprof:    p.Pprof,
+		Traces:   p.TraceDebug && p.Tracer != nil,
+		Recorder: debugRecorder(p.Tracer),
+	}))
 	srv := &http.Server{
 		Addr:              p.Addr,
 		Handler:           mux,
@@ -605,21 +638,30 @@ func runBuildCoordinator(logger *slog.Logger, reg *observe.Registry, p coordPara
 	if p.RegistryURL != "" {
 		// Publish the finalized model so the serving fleet picks it up.
 		// Idempotent: a rerun of a finished build re-uploads the same bytes
-		// and is acknowledged as a duplicate.
+		// and is acknowledged as a duplicate. The publish rides the build
+		// trace: the registry persists the injected traceparent, and every
+		// replica's hot-swap span joins this build's timeline.
 		var buf bytes.Buffer
 		if err := det.Save(&buf); err != nil {
 			return err
 		}
 		fp := pipeline.BuildFingerprint(part.Fingerprint(), p.Options)
-		pres, err := registry.Publish(context.Background(), nil, p.RegistryURL,
+		pubCtx, endPublish := observe.RecorderSpan(coord.TraceContext(), "publish_model")
+		pres, err := registry.Publish(pubCtx, nil, p.RegistryURL,
 			buf.Bytes(), fp, "distbuild", retry.Policy{MaxAttempts: 10})
 		if err != nil {
+			observe.SetSpanError(pubCtx, err.Error())
+			endPublish()
 			return fmt.Errorf("model written to %s but registry publish failed: %w", p.Out, err)
 		}
+		endPublish()
 		logger.Info("model published to registry", "registry", p.RegistryURL,
 			"version", pres.Version, "status", pres.Status, "current", pres.Current,
 			"sha256", pres.SHA256)
 	}
+	// Finalize the build trace now — while the server is still up — so the
+	// completed timeline is visible on /debug/traces before drain.
+	coord.EndTrace()
 	st := coord.Status()
 	sum := buildSummary{
 		Partitions:      st.Partitions,
@@ -661,7 +703,7 @@ func runBuildCoordinator(logger *slog.Logger, reg *observe.Registry, p coordPara
 // runBuildWorker joins a distributed build and works until the coordinator
 // reports it complete. The generous retry budget is deliberate: a worker
 // should ride out a coordinator restart, not die during one.
-func runBuildWorker(logger *slog.Logger, coordinator, dir string, workers int) error {
+func runBuildWorker(logger *slog.Logger, tracer *observe.Tracer, coordinator, dir string, workers int) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	logger.Info("build worker starting", "coordinator", coordinator, "dir", dir, "workers", workers)
@@ -670,6 +712,7 @@ func runBuildWorker(logger *slog.Logger, coordinator, dir string, workers int) e
 		Dir:         dir,
 		Workers:     workers,
 		Retry:       retry.Policy{MaxAttempts: 10},
+		Tracer:      tracer,
 		Logf:        func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) },
 	})
 	if err != nil {
@@ -688,6 +731,18 @@ type registryParams struct {
 	RequestTimeout time.Duration
 	MaxBodyBytes   int64
 	Drain          time.Duration
+	Tracer         *observe.Tracer
+	Pprof          bool
+	TraceDebug     bool
+}
+
+// debugRecorder unwraps a possibly-nil tracer's flight recorder for the
+// DebugHandler mount.
+func debugRecorder(t *observe.Tracer) *observe.FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.Recorder()
 }
 
 // runRegistryServer serves the versioned model registry until
@@ -722,9 +777,15 @@ func runRegistryServer(logger *slog.Logger, reg *observe.Registry, p registryPar
 		_, _ = w.Write([]byte(`{"status":"alive"}` + "\n"))
 	})
 	root.Handle("GET /metrics", reg.Handler())
+	root.Handle("/debug/", observe.DebugHandler(observe.DebugOptions{
+		Pprof:    p.Pprof,
+		Traces:   p.TraceDebug && p.Tracer != nil,
+		Recorder: debugRecorder(p.Tracer),
+	}))
 	root.Handle("/", hardened)
 	handler := resilience.Chain(
 		resilience.RequestID(),
+		resilience.Tracing(p.Tracer, registry.RouteLabel),
 		resilience.Metrics(httpMetrics),
 		resilience.AccessLog(logger),
 		resilience.Recover(func(format string, args ...any) { logger.Error(fmt.Sprintf(format, args...)) }),

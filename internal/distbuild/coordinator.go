@@ -50,6 +50,11 @@ type CoordinatorConfig struct {
 	Options pipeline.Options
 	// Metrics, when set, receives the distbuild_* instrument families.
 	Metrics *observe.Registry
+	// Tracer, when set, opens a root span covering the whole build in its
+	// flight recorder. Granted leases carry its traceparent so worker
+	// spans join the build trace, and merge/finalize/publish stages hang
+	// off it via TraceContext.
+	Tracer *observe.Tracer
 	// Logf, when set, receives one line per protocol event.
 	Logf func(format string, args ...any)
 }
@@ -68,6 +73,11 @@ type Coordinator struct {
 	n        int      // partition count (clamped)
 	expected []string // expected Partial.Fingerprint per partition
 	params   CountParams
+
+	traceCtx     context.Context // carries the build root span when tracing
+	endTraceOnce sync.Once
+	endTrace     func()
+	traceparent  string // propagated in granted leases
 
 	nAccepted  atomic.Uint64
 	nDuplicate atomic.Uint64
@@ -116,6 +126,19 @@ func NewCoordinator(part *pipeline.DirPartitioner, cfg CoordinatorConfig) (*Coor
 			return nil, fmt.Errorf("distbuild: fingerprinting partition %d: %w", i, err)
 		}
 		c.expected[i] = pipeline.BuildFingerprint(fp, cfg.Options)
+	}
+	c.traceCtx = context.Background()
+	c.endTrace = func() {}
+	if cfg.Tracer != nil {
+		ctx := observe.ContextWithTracer(context.Background(), cfg.Tracer)
+		if cfg.Metrics != nil {
+			ctx = observe.ContextWithRegistry(ctx, cfg.Metrics)
+		}
+		// The build root lives in the recorder only: a span covering an
+		// entire multi-minute build would distort the stage-latency
+		// histogram that SpanMetric feeds.
+		c.traceCtx, c.endTrace = observe.RecorderSpan(ctx, "distbuild_build")
+		c.traceparent = observe.SpanContextFrom(c.traceCtx).Traceparent()
 	}
 	c.table = newLeaseTable(c.n, cfg.LeaseTTL)
 	c.accepted = make([]uint64, c.n)
@@ -223,9 +246,10 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		c.logf("distbuild: partition %d leased to %s", idx, req.Worker)
 	}
 	writeJSON(w, http.StatusOK, LeaseResponse{
-		Partition:  idx,
-		Partitions: c.n,
-		TTLMillis:  c.cfg.LeaseTTL.Milliseconds(),
+		Partition:   idx,
+		Partitions:  c.n,
+		TTLMillis:   c.cfg.LeaseTTL.Milliseconds(),
+		Traceparent: c.traceparent,
 		Build: BuildParams{
 			CorpusFingerprint:    c.part.Fingerprint(),
 			PartitionFingerprint: c.expected[idx],
@@ -396,6 +420,17 @@ func (c *Coordinator) maybeDone() {
 	}
 }
 
+// TraceContext returns the context carrying the build's root span and
+// tracer, so callers can hang further stages (model publish, upload) off
+// the build trace and inject its traceparent into outbound requests.
+// Returns a plain background context when tracing is disabled.
+func (c *Coordinator) TraceContext() context.Context { return c.traceCtx }
+
+// EndTrace completes the build's root span, finalizing the trace into
+// the flight recorder. Call once the build — including any publish — is
+// finished; idempotent.
+func (c *Coordinator) EndTrace() { c.endTraceOnce.Do(c.endTrace) }
+
 // Wait blocks until every partition's shard has been accepted or ctx ends.
 func (c *Coordinator) Wait(ctx context.Context) error {
 	select {
@@ -418,24 +453,42 @@ func (c *Coordinator) BuildModel(ctx context.Context) (*core.Detector, *core.Tra
 	if !done {
 		return nil, nil, errors.New("distbuild: build incomplete, cannot finalize")
 	}
+	// Stage spans hang off the build trace (not the caller's cancellation
+	// context); Finalize still honors ctx for cancellation.
+	mergeCtx, endMerge := observe.Span(c.traceCtx, "merge_shards")
 	var merged *pipeline.Partial
 	for i := 0; i < c.n; i++ {
 		raw, err := os.ReadFile(c.shardPath(i))
 		if err != nil {
+			observe.SetSpanError(mergeCtx, err.Error())
+			endMerge()
 			return nil, nil, fmt.Errorf("distbuild: reading accepted shard %d: %w", i, err)
 		}
 		p, err := pipeline.DecodePartial(bytes.NewReader(raw))
 		if err != nil {
+			observe.SetSpanError(mergeCtx, err.Error())
+			endMerge()
 			return nil, nil, fmt.Errorf("distbuild: accepted shard %d no longer valid: %w", i, err)
 		}
 		if p.Fingerprint != c.expected[i] {
+			observe.SetSpanError(mergeCtx, "fingerprint drift")
+			endMerge()
 			return nil, nil, fmt.Errorf("distbuild: accepted shard %d fingerprint drifted", i)
 		}
 		if merged == nil {
 			merged = p
 		} else if err := merged.Merge(p); err != nil {
+			observe.SetSpanError(mergeCtx, err.Error())
+			endMerge()
 			return nil, nil, fmt.Errorf("distbuild: merging shard %d: %w", i, err)
 		}
 	}
-	return merged.Finalize(ctx, c.cfg.Options)
+	endMerge()
+	finCtx, endFinalize := observe.Span(c.traceCtx, "finalize_model")
+	det, rep, err := merged.Finalize(ctx, c.cfg.Options)
+	if err != nil {
+		observe.SetSpanError(finCtx, err.Error())
+	}
+	endFinalize()
+	return det, rep, err
 }

@@ -58,6 +58,11 @@ type LeaseResponse struct {
 	// (TTL/3 is the convention) or the partition is reassigned.
 	TTLMillis int64 `json:"ttl_millis"`
 
+	// Traceparent is the build's root span context in W3C form; a tracing
+	// worker records its counting spans as children of the coordinator's
+	// build trace so the whole distributed build is one causal timeline.
+	Traceparent string `json:"traceparent,omitempty"`
+
 	Build BuildParams `json:"build"`
 }
 

@@ -9,10 +9,12 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/observe"
 	"repro/internal/pipeline"
 	"repro/internal/retry"
 )
@@ -43,6 +45,11 @@ type WorkerConfig struct {
 	// retry package defaults; AttemptTimeout additionally defaults to
 	// DefaultAttemptTimeout.
 	Retry retry.Policy
+	// Tracer, when set, records a per-lease counting span into its flight
+	// recorder as a child of the coordinator's build trace (joined via
+	// the lease's traceparent) and injects the span context into every
+	// coordinator call.
+	Tracer *observe.Tracer
 	// Logf, when set, receives one line per worker event.
 	Logf func(format string, args ...any)
 }
@@ -135,7 +142,32 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 
 // runLease counts one leased partition and uploads its shard. It returns
 // errLeaseLost when the coordinator reassigned the partition mid-count.
-func (w *worker) runLease(ctx context.Context, lease LeaseResponse) error {
+// With a tracer configured, the whole lease runs under a count_partition
+// span joined to the coordinator's build trace, so heartbeats and the
+// shard upload carry the trace over the wire.
+func (w *worker) runLease(ctx context.Context, lease LeaseResponse) (err error) {
+	if w.cfg.Tracer != nil {
+		ctx = observe.ContextWithTracer(ctx, w.cfg.Tracer)
+		if sc, ok := observe.ParseTraceparent(lease.Traceparent); ok {
+			ctx = observe.ContextWithRemoteParent(ctx, sc)
+		}
+		var end func()
+		ctx, end = observe.RecorderSpan(ctx, "count_partition")
+		observe.SetSpanAttr(ctx, "partition", strconv.Itoa(lease.Partition))
+		observe.SetSpanAttr(ctx, "worker", w.cfg.Name)
+		defer func() {
+			if err != nil && !errors.Is(err, errLeaseLost) {
+				observe.SetSpanError(ctx, err.Error())
+			}
+			end()
+		}()
+	}
+	return w.countLease(ctx, lease)
+}
+
+// countLease is runLease's body, running under the lease span when
+// tracing is enabled.
+func (w *worker) countLease(ctx context.Context, lease LeaseResponse) error {
 	if w.part == nil {
 		part, err := pipeline.NewDirPartitioner(w.cfg.Dir, pipeline.DirConfig{HasHeader: lease.Build.HasHeader})
 		if err != nil {
@@ -211,9 +243,13 @@ func (w *worker) runLease(ctx context.Context, lease LeaseResponse) error {
 	// Upload under the parent context: even if the lease lapses mid-upload,
 	// the coordinator accepts any correct shard.
 	url := fmt.Sprintf("%s%s?partition=%d&worker=%s", w.cfg.Coordinator, PathShard, lease.Partition, w.cfg.Name)
-	if err := w.do(ctx, url, "application/octet-stream", buf.Bytes(), nil); err != nil {
+	upCtx, endUpload := observe.RecorderSpan(ctx, "upload_shard")
+	if err := w.do(upCtx, url, "application/octet-stream", buf.Bytes(), nil); err != nil {
+		observe.SetSpanError(upCtx, err.Error())
+		endUpload()
 		return fmt.Errorf("distbuild: uploading partition %d: %w", lease.Partition, err)
 	}
+	endUpload()
 	w.logf("distbuild worker %s: partition %d uploaded (%d columns, %d sample)", w.cfg.Name, lease.Partition, p.Columns, p.SampleSize())
 	return nil
 }
@@ -237,6 +273,7 @@ func (w *worker) do(ctx context.Context, url, contentType string, body []byte, o
 			return err
 		}
 		req.Header.Set("Content-Type", contentType)
+		observe.Inject(actx, req.Header)
 		resp, err := w.client.Do(req)
 		if err != nil {
 			// Transport-level failures (resets, refused connections,

@@ -39,7 +39,7 @@ func TestChaosKillResumeByteIdentical(t *testing.T) {
 	cleanMgr := openManager(t, context.Background(), Config{
 		Dir: t.TempDir(), Workers: 1, Model: modelFn(det),
 	})
-	cst, err := cleanMgr.Submit(table, 0)
+	cst, err := cleanMgr.Submit(context.Background(), table, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestChaosKillResumeByteIdentical(t *testing.T) {
 			t.Fatalf("cycle %d open: %v", cycle, err)
 		}
 		if cycle == 0 {
-			st, err := m.Submit(table, 0)
+			st, err := m.Submit(context.Background(), table, 0)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -86,6 +86,11 @@ type Spec struct {
 	Columns       map[string][]string `json:"columns"`
 	MinConfidence float64             `json:"min_confidence"`
 	SubmittedUnix int64               `json:"submitted_unix"`
+	// Traceparent is the submitting request's span context in W3C form,
+	// persisted with the spec so every execution of the job — including
+	// resumes after a crash or drain, possibly days later in a different
+	// process — records its spans under the original submission's trace.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // ColumnOrder returns the deterministic audit order: column names sorted

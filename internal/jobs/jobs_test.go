@@ -106,7 +106,7 @@ func TestSubmitRunDone(t *testing.T) {
 	m := openManager(t, context.Background(), Config{
 		Dir: t.TempDir(), Workers: 2, Model: modelFn(det),
 	})
-	st, err := m.Submit(table, 0)
+	st, err := m.Submit(context.Background(), table, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestSubmitValidation(t *testing.T) {
 	m := openManager(t, context.Background(), Config{
 		Dir: t.TempDir(), Workers: 1, Model: modelFn(det),
 	})
-	if _, err := m.Submit(nil, 0); err == nil {
+	if _, err := m.Submit(context.Background(), nil, 0); err == nil {
 		t.Fatal("empty table must be rejected")
 	}
 }
@@ -174,7 +174,7 @@ func blockedManager(t *testing.T, cfg Config) (*Manager, chan struct{}) {
 // queue capacity.
 func submitAndOccupy(t *testing.T, m *Manager) *State {
 	t.Helper()
-	st, err := m.Submit(testTable(2, 1), 0)
+	st, err := m.Submit(context.Background(), testTable(2, 1), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,13 +194,13 @@ func TestQueueFullBackpressure(t *testing.T) {
 
 	var queued []*State
 	for i := 0; i < 2; i++ {
-		st, err := m.Submit(testTable(2, int64(10+i)), 0)
+		st, err := m.Submit(context.Background(), testTable(2, int64(10+i)), 0)
 		if err != nil {
 			t.Fatalf("submission %d within capacity: %v", i, err)
 		}
 		queued = append(queued, st)
 	}
-	if _, err := m.Submit(testTable(2, 99), 0); !errors.Is(err, ErrQueueFull) {
+	if _, err := m.Submit(context.Background(), testTable(2, 99), 0); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overflow submission: got %v, want ErrQueueFull", err)
 	}
 	close(release)
@@ -226,7 +226,7 @@ func TestFIFOOrder(t *testing.T) {
 	first := submitAndOccupy(t, m)
 	want := []string{first.ID}
 	for i := 0; i < 3; i++ {
-		st, err := m.Submit(testTable(2, int64(20+i)), 0)
+		st, err := m.Submit(context.Background(), testTable(2, int64(20+i)), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -246,7 +246,7 @@ func TestFIFOOrder(t *testing.T) {
 func TestCancelQueued(t *testing.T) {
 	m, release := blockedManager(t, Config{Dir: t.TempDir(), MaxQueued: 4})
 	first := submitAndOccupy(t, m)
-	queued, err := m.Submit(testTable(2, 5), 0)
+	queued, err := m.Submit(context.Background(), testTable(2, 5), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +281,7 @@ func TestCancelRunning(t *testing.T) {
 			})
 		},
 	})
-	st, err := m.Submit(testTable(6, 3), 0)
+	st, err := m.Submit(context.Background(), testTable(6, 3), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestJobDeadline(t *testing.T) {
 			time.Sleep(40 * time.Millisecond) // force the deadline past
 		},
 	})
-	st, err := m.Submit(testTable(6, 3), 0)
+	st, err := m.Submit(context.Background(), testTable(6, 3), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +347,7 @@ func TestSubmitAfterCloseFails(t *testing.T) {
 	if err := m.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Submit(testTable(2, 1), 0); !errors.Is(err, ErrClosed) {
+	if _, err := m.Submit(context.Background(), testTable(2, 1), 0); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close: got %v, want ErrClosed", err)
 	}
 }
@@ -363,7 +363,7 @@ func TestDrainResumeByteIdentical(t *testing.T) {
 	cleanMgr := openManager(t, context.Background(), Config{
 		Dir: t.TempDir(), Workers: 1, Model: modelFn(det),
 	})
-	cst, err := cleanMgr.Submit(table, 0)
+	cst, err := cleanMgr.Submit(context.Background(), table, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +393,7 @@ func TestDrainResumeByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := m1.Submit(table, 0)
+	st, err := m1.Submit(context.Background(), table, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -467,7 +467,7 @@ func TestRecoveryRebuildsCorruptState(t *testing.T) {
 	m2 := openManager(t, context.Background(), Config{
 		Dir: t.TempDir(), Workers: 1, Model: modelFn(det),
 	})
-	st2, err := m2.Submit(table, 0)
+	st2, err := m2.Submit(context.Background(), table, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

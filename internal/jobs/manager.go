@@ -41,6 +41,10 @@ type Config struct {
 	Model func() (*core.Detector, *semantic.Model)
 	// Metrics receives the jobs_* families (nil gets a private registry).
 	Metrics *observe.Registry
+	// Tracer, when set, records executor spans into its flight recorder
+	// under the submitting request's trace (persisted in the spec), and
+	// attaches trace IDs as job_column_seconds exemplars.
+	Tracer *observe.Tracer
 	// Logger receives lifecycle events (nil discards).
 	Logger *slog.Logger
 	// CheckpointHook, when set, runs after every durable per-column
@@ -199,9 +203,12 @@ func (m *Manager) writeFailed(id string, seq uint64, msg string) {
 }
 
 // Submit validates, durably persists, and enqueues a new job, returning
-// its initial state. ErrQueueFull signals backpressure (the HTTP layer
-// answers 429 + Retry-After); ErrClosed means the manager is draining.
-func (m *Manager) Submit(columns map[string][]string, minConf float64) (*State, error) {
+// its initial state. The submitting context's span identity (if any) is
+// persisted in the spec so the executor — now or after a restart —
+// records the job's spans under the submission's trace. ErrQueueFull
+// signals backpressure (the HTTP layer answers 429 + Retry-After);
+// ErrClosed means the manager is draining.
+func (m *Manager) Submit(ctx context.Context, columns map[string][]string, minConf float64) (*State, error) {
 	if len(columns) == 0 {
 		return nil, errors.New("jobs: empty table")
 	}
@@ -221,6 +228,7 @@ func (m *Manager) Submit(columns map[string][]string, minConf float64) (*State, 
 	sp := &Spec{
 		ID: id, Seq: m.seq, Columns: columns,
 		MinConfidence: minConf, SubmittedUnix: now,
+		Traceparent: observe.SpanContextFrom(ctx).Traceparent(),
 	}
 	st := &State{
 		ID: id, Seq: m.seq, Status: StatusQueued,
@@ -474,7 +482,20 @@ func (m *Manager) runJob(id string) {
 	}
 
 	ctx := observe.ContextWithRegistry(jobCtx, m.reg)
+	// Rejoin the submitting request's trace (persisted in the spec), so a
+	// job resumed after a crash still records under the original trace.
+	if m.cfg.Tracer != nil {
+		ctx = observe.ContextWithTracer(ctx, m.cfg.Tracer)
+		if sc, ok := observe.ParseTraceparent(sp.Traceparent); ok {
+			ctx = observe.ContextWithRemoteParent(ctx, sc)
+		}
+	}
 	ctx, endJob := observe.Span(ctx, "job_execute")
+	observe.SetSpanAttr(ctx, "job_id", id)
+	if resumed {
+		observe.SetSpanAttr(ctx, "resumed", "true")
+	}
+	traceID := observe.TraceIDFrom(ctx)
 	start := time.Now()
 	var execErr error
 	for i := st.ColumnsDone; i < len(order); i++ {
@@ -482,7 +503,8 @@ func (m *Manager) runJob(id string) {
 			break
 		}
 		colStart := time.Now()
-		_, endCol := observe.Span(ctx, "job_column")
+		colCtx, endCol := observe.Span(ctx, "job_column")
+		observe.SetSpanAttr(colCtx, "column", order[i])
 		fs := audit.CheckColumn(ctx, det, sem, sp.Columns[order[i]], sp.MinConfidence)
 		endCol()
 		st.Results = append(st.Results, ColumnResult{Column: order[i], Findings: fs})
@@ -491,10 +513,13 @@ func (m *Manager) runJob(id string) {
 			execErr = fmt.Errorf("checkpointing column %d: %w", i, err)
 			break
 		}
-		m.obs.colDur.Observe(time.Since(colStart).Seconds())
+		m.obs.colDur.ObserveExemplar(time.Since(colStart).Seconds(), traceID)
 		if m.cfg.CheckpointHook != nil {
 			m.cfg.CheckpointHook(id, st.ColumnsDone)
 		}
+	}
+	if execErr != nil {
+		observe.SetSpanError(ctx, execErr.Error())
 	}
 	endJob()
 	m.obs.jobDur.Observe(time.Since(start).Seconds())

@@ -1,0 +1,121 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/observe"
+)
+
+// Satellite regression: a job submitted under trace A, interrupted by a
+// drain, and resumed by a fresh Manager on the next Open must record its
+// execution spans under trace A. The traceparent is persisted in the
+// immutable spec, so the link survives process death — the only state
+// the resumed process has is what's on disk.
+func TestResumedJobCarriesSubmittingTrace(t *testing.T) {
+	det := testDetector(t)
+	table := testTable(6, 7)
+	dir := t.TempDir()
+
+	// Trace A: the submitting request's identity, as the HTTP layer would
+	// plant it after parsing the client's traceparent header.
+	ids := observe.NewIDSource(42)
+	submitSC := observe.SpanContext{TraceID: ids.TraceID(), SpanID: ids.SpanID()}
+	submitCtx := observe.ContextWithRemoteParent(context.Background(), submitSC)
+
+	// First life: run without a tracer, kill the manager's context after
+	// the second durable checkpoint, mid-job.
+	ctx, cancel := context.WithCancel(context.Background())
+	interrupted := make(chan struct{})
+	var once sync.Once
+	m1, err := Open(ctx, Config{
+		Dir: dir, Workers: 1, Model: modelFn(det),
+		CheckpointHook: func(id string, done int) {
+			if done == 2 {
+				once.Do(func() {
+					cancel()
+					close(interrupted)
+				})
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit(submitCtx, table, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-interrupted
+	if err := m1.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The spec on disk must carry trace A verbatim.
+	sp, err := m1.store.GetSpec(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Traceparent != submitSC.Traceparent() {
+		t.Fatalf("persisted traceparent %q, want %q", sp.Traceparent, submitSC.Traceparent())
+	}
+	mid, err := m1.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Status != StatusRunning || mid.ColumnsDone == 0 || mid.ColumnsDone >= len(table) {
+		t.Fatalf("after drain: status=%s columns_done=%d", mid.Status, mid.ColumnsDone)
+	}
+
+	// Second life: a fresh manager — simulating the restarted process —
+	// with a tracer whose recorder keeps every trace.
+	tracer := observe.NewTracer(
+		observe.NewFlightRecorder(observe.RecorderConfig{SampleEvery: 1}),
+		observe.NewIDSource(7))
+	m2 := openManager(t, context.Background(), Config{
+		Dir: dir, Workers: 1, Model: modelFn(det), Tracer: tracer,
+	})
+	if m2.Recovered() != 1 {
+		t.Fatalf("recovered %d jobs, want 1", m2.Recovered())
+	}
+	waitStatus(t, m2, st.ID, StatusDone)
+
+	// The resumed execution must appear in the recorder under trace A,
+	// as a child of the submitting request's span.
+	tc, ok := tracer.Recorder().Trace(submitSC.TraceID.String())
+	if !ok {
+		t.Fatalf("resumed job's trace %s not in the flight recorder", submitSC.TraceID)
+	}
+	if tc.RemoteParent != submitSC.SpanID.String() {
+		t.Fatalf("remote parent %q, want the submitting span %s", tc.RemoteParent, submitSC.SpanID)
+	}
+	root := tc.Spans[len(tc.Spans)-1]
+	if root.Name != "job_execute" || root.SpanID != tc.RootSpanID {
+		t.Fatalf("root span %q (id %s), want job_execute as RootSpanID %s",
+			root.Name, root.SpanID, tc.RootSpanID)
+	}
+	if root.Attrs["job_id"] != st.ID || root.Attrs["resumed"] != "true" {
+		t.Fatalf("root attrs %v, want job_id=%s resumed=true", root.Attrs, st.ID)
+	}
+
+	// Every remaining column check records a job_column span parented by
+	// the resumed root, each naming its column.
+	cols := 0
+	for _, s := range tc.Spans {
+		if s.Name != "job_column" {
+			continue
+		}
+		cols++
+		if s.ParentID != root.SpanID {
+			t.Fatalf("column span %s parented by %q, want root %s", s.SpanID, s.ParentID, root.SpanID)
+		}
+		if s.Attrs["column"] == "" {
+			t.Fatalf("column span %s missing column attr: %v", s.SpanID, s.Attrs)
+		}
+	}
+	if want := len(table) - mid.ColumnsDone; cols != want {
+		t.Fatalf("resumed trace has %d column spans, want %d (resumed from checkpoint %d)",
+			cols, want, mid.ColumnsDone)
+	}
+}

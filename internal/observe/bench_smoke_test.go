@@ -1,0 +1,116 @@
+package observe
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+var tracingBenchOut = flag.String("observe.benchout", "",
+	"write the trace-recorder overhead smoke result (BENCH_tracing.json) to this path")
+
+// BenchmarkRecorderSpan measures the cost of one completed child span
+// under a bound tracer: allocate state, record, append into the shared
+// trace buffer. This is the per-span tax every traced request pays.
+func BenchmarkRecorderSpan(b *testing.B) {
+	tr := NewTracer(NewFlightRecorder(RecorderConfig{SampleEvery: -1}), NewIDSource(1))
+	ctx := ContextWithTracer(context.Background(), tr)
+	rctx, endRoot := RecorderSpan(ctx, "bench_root")
+	defer endRoot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, end := RecorderSpan(rctx, "child")
+		end()
+	}
+}
+
+// BenchmarkRecorderTraceFinalize measures a whole small trace: root +
+// three children, finalized through tail-sampling admission.
+func BenchmarkRecorderTraceFinalize(b *testing.B) {
+	tr := NewTracer(NewFlightRecorder(RecorderConfig{SampleEvery: -1}), NewIDSource(1))
+	ctx := ContextWithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rctx, endRoot := RecorderSpan(ctx, "root")
+		for j := 0; j < 3; j++ {
+			_, end := RecorderSpan(rctx, "child")
+			end()
+		}
+		endRoot()
+	}
+}
+
+// tracingBench is the BENCH_tracing.json payload.
+type tracingBench struct {
+	Benchmark       string  `json:"benchmark"`
+	NumCPU          int     `json:"num_cpu"`
+	Spans           int     `json:"spans"`
+	NsPerSpan       float64 `json:"ns_per_span"`
+	NsPerTrace      float64 `json:"ns_per_trace"`
+	SpansPerTrace   int     `json:"spans_per_trace"`
+	TracesRetained  uint64  `json:"traces_retained"`
+	TracesCompleted uint64  `json:"traces_completed"`
+}
+
+// TestTracingOverheadSmoke measures recorder overhead per completed span
+// and enforces the subsystem's budget: under a microsecond per span, so
+// tracing every request is affordable. Writes BENCH_tracing.json when
+// -observe.benchout is set (CI does; plain `go test` skips).
+func TestTracingOverheadSmoke(t *testing.T) {
+	if *tracingBenchOut == "" {
+		t.Skip("tracing smoke disabled; set -observe.benchout to enable")
+	}
+	rec := NewFlightRecorder(RecorderConfig{})
+	tr := NewTracer(rec, NewIDSource(1))
+	ctx := ContextWithTracer(context.Background(), tr)
+
+	const traces = 20000
+	const children = 4
+	start := time.Now()
+	for i := 0; i < traces; i++ {
+		rctx, endRoot := RecorderSpan(ctx, "root")
+		for j := 0; j < children; j++ {
+			_, end := RecorderSpan(rctx, "child")
+			end()
+		}
+		endRoot()
+	}
+	elapsed := time.Since(start)
+
+	spans := traces * (children + 1)
+	nsPerSpan := float64(elapsed.Nanoseconds()) / float64(spans)
+	if got := rec.tracesTotal.Load(); got != traces {
+		t.Fatalf("completed %d traces, want %d", got, traces)
+	}
+	// The acceptance budget, with slack only from the measurement itself:
+	// each completed span (start + record + buffer append, amortizing
+	// finalize) must stay under 1µs.
+	if nsPerSpan >= 1000 {
+		t.Fatalf("recorder overhead %.1f ns/span, budget < 1000 ns/span", nsPerSpan)
+	}
+
+	out := tracingBench{
+		Benchmark:       "trace_recorder_overhead",
+		NumCPU:          runtime.NumCPU(),
+		Spans:           spans,
+		NsPerSpan:       nsPerSpan,
+		NsPerTrace:      float64(elapsed.Nanoseconds()) / float64(traces),
+		SpansPerTrace:   children + 1,
+		TracesRetained:  rec.retained.Load(),
+		TracesCompleted: rec.tracesTotal.Load(),
+	}
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*tracingBenchOut, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("trace recorder overhead: %.1f ns/span (%d spans)", nsPerSpan, spans)
+}

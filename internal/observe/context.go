@@ -8,6 +8,9 @@ const (
 	requestIDKey ctxKey = iota
 	registryKey
 	spanPathKey
+	tracerKey
+	activeSpanKey
+	remoteParentKey
 )
 
 // ContextWithRequestID returns a context carrying the request ID that the

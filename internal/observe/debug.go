@@ -1,0 +1,181 @@
+package observe
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// DebugOptions gates the diagnostic surface mounted by DebugHandler.
+type DebugOptions struct {
+	// Pprof enables the net/http/pprof handlers under /debug/pprof/.
+	Pprof bool
+	// Traces enables the flight-recorder viewer under /debug/traces.
+	Traces bool
+	// Recorder backs /debug/traces; required when Traces is set.
+	Recorder *FlightRecorder
+}
+
+// DebugHandler returns the single handler every daemon mounts at
+// /debug/: pprof and the trace viewer share it so gating is uniform — a
+// disabled surface answers 404 exactly like an unknown path, leaking
+// nothing about what the build could expose.
+//
+// Trace endpoints:
+//
+//	GET /debug/traces               — retained traces, newest first
+//	    ?min_ms=N    only traces at least N milliseconds long
+//	    ?error=1     only error traces
+//	    ?limit=N     at most N entries
+//	GET /debug/traces/{trace_id}    — one trace as a span tree with
+//	                                  per-span durations
+func DebugHandler(opts DebugOptions) http.Handler {
+	mux := http.NewServeMux()
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	if opts.Traces && opts.Recorder != nil {
+		rec := opts.Recorder
+		mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			listTraces(w, r, rec)
+		})
+		mux.HandleFunc("GET /debug/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+			showTrace(w, r, rec, r.PathValue("id"))
+		})
+	}
+	return mux
+}
+
+// traceSummary is one row of the /debug/traces listing.
+type traceSummary struct {
+	TraceID    string  `json:"trace_id"`
+	Root       string  `json:"root"`
+	StartUnix  float64 `json:"start_unix"`
+	DurationMS float64 `json:"duration_ms"`
+	Error      bool    `json:"error"`
+	Reason     string  `json:"reason"`
+	Spans      int     `json:"spans"`
+}
+
+func listTraces(w http.ResponseWriter, r *http.Request, rec *FlightRecorder) {
+	q := r.URL.Query()
+	var f TraceFilter
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			http.Error(w, "bad min_ms", http.StatusBadRequest)
+			return
+		}
+		f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := q.Get("error"); v == "1" || v == "true" {
+		f.ErrorOnly = true
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		f.Limit = n
+	}
+	traces := rec.Snapshot(f)
+	out := make([]traceSummary, len(traces))
+	for i, t := range traces {
+		out[i] = traceSummary{
+			TraceID:    t.TraceID,
+			Root:       t.Root,
+			StartUnix:  float64(t.StartUnixNano) / 1e9,
+			DurationMS: float64(t.DurationNanos) / 1e6,
+			Error:      t.Error,
+			Reason:     t.Reason,
+			Spans:      len(t.Spans),
+		}
+	}
+	writeJSON(w, map[string]any{"traces": out})
+}
+
+// spanNode is one span in the rendered tree of a single trace.
+type spanNode struct {
+	SpanID     string            `json:"span_id"`
+	Name       string            `json:"name"`
+	StartUnix  float64           `json:"start_unix"`
+	DurationMS float64           `json:"duration_ms"`
+	Error      string            `json:"error,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []*spanNode       `json:"children,omitempty"`
+}
+
+func showTrace(w http.ResponseWriter, r *http.Request, rec *FlightRecorder, id string) {
+	t, ok := rec.Trace(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	// Hang every span off its parent; spans with a missing parent
+	// (span-cap overflow, remote parent) attach to the local root so
+	// nothing disappears from the rendering.
+	nodes := make(map[string]*spanNode, len(t.Spans))
+	for _, s := range t.Spans {
+		if s.SpanID == "" {
+			continue
+		}
+		nodes[s.SpanID] = &spanNode{
+			SpanID:     s.SpanID,
+			Name:       s.Name,
+			StartUnix:  float64(s.StartUnixNano) / 1e9,
+			DurationMS: float64(s.DurationNanos) / 1e6,
+			Error:      s.Error,
+			Attrs:      s.Attrs,
+		}
+	}
+	root := nodes[t.RootSpanID]
+	if root == nil {
+		root = &spanNode{
+			Name:       t.Root,
+			StartUnix:  float64(t.StartUnixNano) / 1e9,
+			DurationMS: float64(t.DurationNanos) / 1e6,
+		}
+	}
+	for _, s := range t.Spans {
+		n := nodes[s.SpanID]
+		if n == nil || n == root {
+			continue
+		}
+		if p, ok := nodes[s.ParentID]; ok && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			root.Children = append(root.Children, n)
+		}
+	}
+	sortTree(root)
+	writeJSON(w, map[string]any{
+		"trace_id":      t.TraceID,
+		"remote_parent": t.RemoteParent,
+		"error":         t.Error,
+		"reason":        t.Reason,
+		"dropped_spans": t.DroppedSpans,
+		"root":          root,
+	})
+}
+
+func sortTree(n *spanNode) {
+	sort.SliceStable(n.Children, func(i, j int) bool {
+		return n.Children[i].StartUnix < n.Children[j].StartUnix
+	})
+	for _, c := range n.Children {
+		sortTree(c)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

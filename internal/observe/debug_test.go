@@ -1,0 +1,158 @@
+package observe
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// seedDebugTracer records one three-span trace and one error trace.
+func seedDebugTracer() *Tracer {
+	tr := newTestTracer(11)
+	ctx := ContextWithTracer(context.Background(), tr)
+	rctx, endRoot := RecorderSpan(ctx, "POST /v1/check-table")
+	cctx, endCol := Span(rctx, "check_column")
+	_, endDet := Span(cctx, "detect_pattern")
+	endDet()
+	endCol()
+	endRoot()
+
+	ectx, endErr := RecorderSpan(ctx, "POST /v1/jobs")
+	SetSpanError(ectx, "queue full")
+	endErr()
+	return tr
+}
+
+func TestDebugHandlerListAndFilters(t *testing.T) {
+	tr := seedDebugTracer()
+	h := DebugHandler(DebugOptions{Traces: true, Recorder: tr.Recorder()})
+
+	get := func(url string) (int, map[string]any) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		var body map[string]any
+		_ = json.Unmarshal(rec.Body.Bytes(), &body)
+		return rec.Code, body
+	}
+
+	code, body := get("/debug/traces")
+	if code != 200 {
+		t.Fatalf("list: %d", code)
+	}
+	traces := body["traces"].([]any)
+	if len(traces) != 2 {
+		t.Fatalf("listed %d traces, want 2", len(traces))
+	}
+	newest := traces[0].(map[string]any)
+	if newest["root"] != "POST /v1/jobs" || newest["error"] != true {
+		t.Fatalf("newest trace: %v", newest)
+	}
+
+	code, body = get("/debug/traces?error=1")
+	if code != 200 || len(body["traces"].([]any)) != 1 {
+		t.Fatalf("error filter: %d %v", code, body)
+	}
+	code, body = get("/debug/traces?limit=1")
+	if code != 200 || len(body["traces"].([]any)) != 1 {
+		t.Fatalf("limit filter: %d %v", code, body)
+	}
+	if code, _ = get("/debug/traces?min_ms=junk"); code != 400 {
+		t.Fatalf("bad min_ms: %d, want 400", code)
+	}
+	if code, _ = get("/debug/traces?limit=-1"); code != 400 {
+		t.Fatalf("bad limit: %d, want 400", code)
+	}
+}
+
+func TestDebugHandlerSpanTree(t *testing.T) {
+	tr := seedDebugTracer()
+	h := DebugHandler(DebugOptions{Traces: true, Recorder: tr.Recorder()})
+
+	// Find the three-span trace's ID from the listing.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var listing struct {
+		Traces []struct {
+			TraceID string `json:"trace_id"`
+			Spans   int    `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	var id string
+	for _, tc := range listing.Traces {
+		if tc.Spans == 3 {
+			id = tc.TraceID
+		}
+	}
+	if id == "" {
+		t.Fatalf("no 3-span trace in %+v", listing)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/"+id, nil))
+	if rec.Code != 200 {
+		t.Fatalf("show: %d", rec.Code)
+	}
+	var body struct {
+		TraceID string `json:"trace_id"`
+		Root    struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name     string `json:"name"`
+				Children []struct {
+					Name string `json:"name"`
+				} `json:"children"`
+			} `json:"children"`
+		} `json:"root"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.TraceID != id || body.Root.Name != "POST /v1/check-table" {
+		t.Fatalf("tree root: %+v", body)
+	}
+	if len(body.Root.Children) != 1 || body.Root.Children[0].Name != "check_column" ||
+		len(body.Root.Children[0].Children) != 1 || body.Root.Children[0].Children[0].Name != "detect_pattern" {
+		t.Fatalf("tree nesting wrong: %+v", body.Root)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/deadbeef", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown trace: %d, want 404", rec.Code)
+	}
+}
+
+func TestDebugHandlerDisabledSurfacesAnswer404(t *testing.T) {
+	tr := seedDebugTracer()
+	// Everything off: both surfaces 404 like unknown paths.
+	h := DebugHandler(DebugOptions{})
+	for _, url := range []string{"/debug/traces", "/debug/pprof/", "/debug/anything"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != 404 {
+			t.Errorf("disabled %s: %d, want 404", url, rec.Code)
+		}
+	}
+	// Traces on, pprof off — and vice versa — stay independent.
+	h = DebugHandler(DebugOptions{Traces: true, Recorder: tr.Recorder()})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 404 {
+		t.Fatalf("pprof should stay 404: %d", rec.Code)
+	}
+	h = DebugHandler(DebugOptions{Pprof: true})
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 404 {
+		t.Fatalf("traces should stay 404: %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("enabled pprof index: %d, want 200", rec.Code)
+	}
+}

@@ -21,9 +21,10 @@ type LogOptions struct {
 // NewLogger builds the stack-wide structured logger: a slog text or JSON
 // handler wrapped so that records logged with the ctx-aware methods
 // (InfoContext & co.) automatically carry request_id when the context
-// passed through ContextWithRequestID — the same context the resilience
-// middleware populates — so every log line of a request correlates with
-// its X-Request-Id response header.
+// passed through ContextWithRequestID and trace_id when it carries an
+// active span — the same context the resilience middleware populates —
+// so every log line of a request correlates with its X-Request-Id
+// response header and its entry in /debug/traces.
 func NewLogger(w io.Writer, opts LogOptions) *slog.Logger {
 	ho := &slog.HandlerOptions{Level: opts.Level}
 	var h slog.Handler
@@ -39,12 +40,15 @@ func NewLogger(w io.Writer, opts LogOptions) *slog.Logger {
 	return l
 }
 
-// correlate injects request_id from the record's context.
+// correlate injects request_id and trace_id from the record's context.
 type correlate struct{ slog.Handler }
 
 func (c correlate) Handle(ctx context.Context, r slog.Record) error {
 	if id := RequestIDFrom(ctx); id != "" {
 		r.AddAttrs(slog.String("request_id", id))
+	}
+	if tid := TraceIDFrom(ctx); tid != "" {
+		r.AddAttrs(slog.String("trace_id", tid))
 	}
 	return c.Handler.Handle(ctx, r)
 }

@@ -34,9 +34,11 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefBuckets are the default latency histogram buckets in seconds,
@@ -241,6 +243,18 @@ type Histogram struct {
 	uppers  []float64
 	cells   []atomic.Uint64 // len(uppers)+1; last cell is the +Inf overflow
 	sumBits atomic.Uint64
+	// exemplars holds the most recent exemplar per bucket (incl. +Inf),
+	// published atomically and rendered only by WriteOpenMetrics.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar links one observed value to the trace that produced it,
+// OpenMetrics-style, so a histogram tail can be followed into
+// /debug/traces.
+type exemplar struct {
+	traceID string
+	value   float64
+	unixMs  int64
 }
 
 func newHistogram(buckets []float64) *Histogram {
@@ -254,7 +268,11 @@ func newHistogram(buckets []float64) *Histogram {
 	}
 	uppers := make([]float64, len(buckets))
 	copy(uppers, buckets)
-	return &Histogram{uppers: uppers, cells: make([]atomic.Uint64, len(uppers)+1)}
+	return &Histogram{
+		uppers:    uppers,
+		cells:     make([]atomic.Uint64, len(uppers)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(uppers)+1),
+	}
 }
 
 // Observe records one value.
@@ -262,6 +280,19 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.uppers, v) // first bucket with le >= v
 	h.cells[i].Add(1)
 	addFloat(&h.sumBits, v)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// publishes it as the bucket's exemplar. The 0.0.4 text exposition is
+// unchanged; WriteOpenMetrics appends exemplars to bucket lines so a
+// scraper can link latency tails to flight-recorder traces.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.uppers, v)
+	h.cells[i].Add(1)
+	addFloat(&h.sumBits, v)
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{traceID: traceID, value: v, unixMs: time.Now().UnixMilli()})
+	}
 }
 
 // Count returns the total number of observations.
@@ -276,15 +307,25 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
-// Quantile returns an estimate of quantile q (in [0,1]) by linear
-// interpolation inside the bucket that crosses the target rank. It is a
+// Quantile returns an estimate of quantile q by linear interpolation
+// inside the bucket that crosses the target rank, assuming observations
+// distribute uniformly within each bucket and values are non-negative
+// (the first finite bucket interpolates up from 0). It is a
 // bucket-resolution estimate — good enough for smoke benchmarks and
 // alerts, not for billing.
+//
+// Edge behavior is pinned by tests: q is clamped to [0,1]; an empty
+// histogram, a histogram declared with zero finite buckets, or a NaN q
+// returns NaN; and a rank that lands in the +Inf overflow bucket
+// returns the highest finite bucket bound — the histogram holds no
+// information above it, so the estimate clamps there rather than
+// inventing a value or returning +Inf.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.Count()
-	if total == 0 {
+	if total == 0 || len(h.uppers) == 0 || math.IsNaN(q) {
 		return math.NaN()
 	}
+	q = math.Min(math.Max(q, 0), 1)
 	target := q * float64(total)
 	var cum float64
 	lower := 0.0
@@ -299,7 +340,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		cum += c
 		lower = u
 	}
-	return h.uppers[len(h.uppers)-1] // in the +Inf bucket: report the last finite bound
+	return h.uppers[len(h.uppers)-1] // rank is in the +Inf bucket: clamp to the last finite bound
 }
 
 // CounterVec partitions counters by label values.
@@ -353,8 +394,22 @@ func (f *family) child(values []string, build func() any) any {
 
 // WriteText renders every family in Prometheus text exposition format
 // (version 0.0.4), families and children in sorted order so output is
-// deterministic and diffable in golden tests.
+// deterministic and diffable in golden tests. Exemplars are never
+// rendered here — 0.0.4 has no syntax for them.
 func (r *Registry) WriteText(w io.Writer) error {
+	return r.write(w, false)
+}
+
+// WriteOpenMetrics renders the same families in the OpenMetrics flavor:
+// identical sample lines, plus `# {trace_id="..."} value timestamp`
+// exemplars appended to histogram bucket lines that have one, and a
+// terminating `# EOF`. Served by Handler when the scraper negotiates
+// Accept: application/openmetrics-text.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.write(w, true)
+}
+
+func (r *Registry) write(w io.Writer, exemplars bool) error {
 	r.mu.RLock()
 	names := make([]string, 0, len(r.fams))
 	for n := range r.fams {
@@ -369,13 +424,16 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 	var b strings.Builder
 	for _, f := range fams {
-		f.writeText(&b)
+		f.writeText(&b, exemplars)
+	}
+	if exemplars {
+		b.WriteString("# EOF\n")
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
-func (f *family) writeText(b *strings.Builder) {
+func (f *family) writeText(b *strings.Builder, exemplars bool) {
 	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
 	if f.children == nil {
@@ -389,7 +447,7 @@ func (f *family) writeText(b *strings.Builder) {
 		case f.gaugeFn != nil:
 			writeSample(b, f.name, "", "", f.gaugeFn())
 		case f.hist != nil:
-			writeHistogram(b, f.name, "", f.hist)
+			writeHistogram(b, f.name, "", f.hist, exemplars)
 		}
 		return
 	}
@@ -412,7 +470,7 @@ func (f *family) writeText(b *strings.Builder) {
 		case *Gauge:
 			writeSample(b, f.name, "", lbl, c.Value())
 		case *Histogram:
-			writeHistogram(b, f.name, lbl, c)
+			writeHistogram(b, f.name, lbl, c, exemplars)
 		}
 	}
 }
@@ -446,16 +504,42 @@ func writeSample(b *strings.Builder, name, suffix, labels string, v float64) {
 	b.WriteByte('\n')
 }
 
-func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram, exemplars bool) {
 	var cum uint64
 	for i, u := range h.uppers {
 		cum += h.cells[i].Load()
-		writeSample(b, name, "_bucket", joinLabels(labels, `le="`+formatFloat(u)+`"`), float64(cum))
+		writeBucket(b, name, joinLabels(labels, `le="`+formatFloat(u)+`"`), float64(cum), h, i, exemplars)
 	}
 	cum += h.cells[len(h.uppers)].Load()
-	writeSample(b, name, "_bucket", joinLabels(labels, `le="+Inf"`), float64(cum))
+	writeBucket(b, name, joinLabels(labels, `le="+Inf"`), float64(cum), h, len(h.uppers), exemplars)
 	writeSample(b, name, "_sum", labels, h.Sum())
 	writeSample(b, name, "_count", labels, float64(cum))
+}
+
+// writeBucket writes one cumulative bucket sample, appending the
+// bucket's exemplar in OpenMetrics syntax when requested and present:
+//
+//	name_bucket{le="0.25"} 17 # {trace_id="4bf9..."} 0.213 1723111845.123
+func writeBucket(b *strings.Builder, name, labels string, v float64, h *Histogram, i int, exemplars bool) {
+	if !exemplars {
+		writeSample(b, name, "_bucket", labels, v)
+		return
+	}
+	e := h.exemplars[i].Load()
+	b.WriteString(name)
+	b.WriteString("_bucket{")
+	b.WriteString(labels)
+	b.WriteString("} ")
+	b.WriteString(formatFloat(v))
+	if e != nil {
+		b.WriteString(` # {trace_id="`)
+		b.WriteString(escapeLabel(e.traceID))
+		b.WriteString(`"} `)
+		b.WriteString(formatFloat(e.value))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(float64(e.unixMs)/1000, 'f', 3, 64))
+	}
+	b.WriteByte('\n')
 }
 
 func joinLabels(a, b string) string {
@@ -490,11 +574,18 @@ func escapeLabel(s string) string {
 }
 
 // Handler returns an http.Handler serving the registry in Prometheus text
-// format, for mounting at GET /metrics.
+// format, for mounting at GET /metrics. Scrapers that send
+// Accept: application/openmetrics-text get the OpenMetrics flavor with
+// histogram exemplars; everyone else gets plain 0.0.4 text unchanged.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = r.WriteOpenMetrics(w)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

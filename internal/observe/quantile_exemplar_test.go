@@ -1,0 +1,137 @@
+package observe
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestQuantileEmptyHistogramIsNaN(t *testing.T) {
+	h := NewRegistry().Histogram("q_empty_seconds", "help", []float64{0.1, 1})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("Quantile(%v) on empty histogram = %v, want NaN", q, got)
+		}
+	}
+}
+
+func TestQuantileNaNInputIsNaN(t *testing.T) {
+	h := NewRegistry().Histogram("q_nan_seconds", "help", []float64{0.1, 1})
+	h.Observe(0.05)
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Quantile(NaN) = %v, want NaN", got)
+	}
+}
+
+// The +Inf overflow bucket has no finite upper bound to interpolate
+// toward; the estimate pins to the last finite boundary instead of
+// returning +Inf or garbage.
+func TestQuantilePinsOverflowBucketToLastFiniteBound(t *testing.T) {
+	h := NewRegistry().Histogram("q_inf_seconds", "help", []float64{0.1, 1})
+	for i := 0; i < 10; i++ {
+		h.Observe(50) // all mass beyond the last finite bucket
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("Quantile(%v) = %v, want a finite pin", q, got)
+		}
+		if got != 1 {
+			t.Fatalf("Quantile(%v) = %v, want the last finite bound 1", q, got)
+		}
+	}
+	// Mixed: half the mass below 0.1, half in +Inf. The median sits on the
+	// finite side; the p99 pins to the last finite bound.
+	h2 := NewRegistry().Histogram("q_mixed_seconds", "help", []float64{0.1, 1})
+	for i := 0; i < 10; i++ {
+		h2.Observe(0.05)
+		h2.Observe(50)
+	}
+	if got := h2.Quantile(0.5); got > 0.1 {
+		t.Fatalf("median = %v, want <= 0.1", got)
+	}
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Fatalf("p99 = %v, want pinned to 1", got)
+	}
+}
+
+func TestQuantileClampsOutOfRangeQ(t *testing.T) {
+	h := NewRegistry().Histogram("q_clamp_seconds", "help", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	lo, hi := h.Quantile(-3), h.Quantile(7)
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi || hi > 2 {
+		t.Fatalf("clamped quantiles lo=%v hi=%v, want finite ordered <= 2", lo, hi)
+	}
+}
+
+func TestQuantileInterpolatesWithinBucket(t *testing.T) {
+	h := NewRegistry().Histogram("q_interp_seconds", "help", []float64{1, 2})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5) // all in (0, 1]
+	}
+	// Rank q*100 of 100 observations, all in the first bucket: linear
+	// interpolation from 0 toward 1.
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("median = %v, want 0.5 by interpolation", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("max = %v, want 1", got)
+	}
+}
+
+func TestExemplarsOnlyInOpenMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("exemplar_seconds", "help", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.ObserveExemplar(0.5, "") // no trace: counted, no exemplar
+
+	var plain strings.Builder
+	if err := reg.WriteText(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "#") && strings.Contains(plain.String(), "trace_id=") {
+		t.Fatalf("plain 0.0.4 exposition leaked exemplar syntax:\n%s", plain.String())
+	}
+	if !strings.Contains(plain.String(), `exemplar_seconds_bucket{le="0.1"} 1`) {
+		t.Fatalf("plain exposition lost the bucket sample:\n%s", plain.String())
+	}
+
+	var om strings.Builder
+	if err := reg.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	out := om.String()
+	if !strings.Contains(out, `exemplar_seconds_bucket{le="0.1"} 1 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.05`) {
+		t.Fatalf("OpenMetrics exposition missing the exemplar:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("OpenMetrics exposition must end with # EOF:\n%q", out[len(out)-40:])
+	}
+}
+
+func TestMetricsHandlerContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("nego_seconds", "help", []float64{1}).ObserveExemplar(0.5, "abcd1234abcd1234abcd1234abcd1234")
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); strings.Contains(ct, "openmetrics") {
+		t.Fatalf("default scrape negotiated OpenMetrics: %s", ct)
+	}
+	if strings.Contains(rec.Body.String(), "trace_id=") {
+		t.Fatal("default scrape leaked exemplars")
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	rec = httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "openmetrics") {
+		t.Fatalf("Accept negotiation ignored: %s", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `# {trace_id="abcd1234abcd1234abcd1234abcd1234"}`) {
+		t.Fatalf("OpenMetrics scrape missing exemplar:\n%s", rec.Body.String())
+	}
+}

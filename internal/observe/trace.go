@@ -1,0 +1,246 @@
+package observe
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Distributed tracing identifiers, W3C Trace Context style.
+//
+// A trace is identified by a 16-byte TraceID; every span within it by an
+// 8-byte SpanID. Both render as lowercase hex. Context propagates between
+// processes in the `traceparent` HTTP header using the W3C format
+//
+//	00-<32 hex trace-id>-<16 hex parent-span-id>-01
+//
+// (version 00, sampled flag always 01 — sampling here is tail-based in
+// the flight recorder, not head-based in the propagated flags).
+
+// HeaderTraceparent is the propagation header, lowercase per W3C.
+const HeaderTraceparent = "traceparent"
+
+// traceparentLen is the exact length of a version-00 traceparent value:
+// 2 + 1 + 32 + 1 + 16 + 1 + 2.
+const traceparentLen = 55
+
+// TraceID identifies one end-to-end trace across processes.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex characters.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex characters.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated identity of a span: the trace it belongs
+// to and its own span ID. The zero value is invalid.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Valid reports whether both IDs are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the context as a W3C traceparent header value, or
+// "" when the context is invalid.
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	b := make([]byte, 0, traceparentLen)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, sc.TraceID[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, sc.SpanID[:])
+	b = append(b, "-01"...)
+	return string(b)
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It is strict:
+// the value must be exactly 55 bytes of version "00" layout with
+// lowercase hex IDs, and both IDs must be non-zero. Anything else —
+// oversized values, uppercase hex, future versions, garbage from hostile
+// clients — is rejected so malformed input can never reach logs or
+// metrics labels.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	if len(s) != traceparentLen {
+		return SpanContext{}, false
+	}
+	if s[0] != '0' || s[1] != '0' || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	// Flags must be two hex digits; we accept any, emit "01".
+	if !isLowerHex(s[53:]) {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if !isLowerHex(s[3:35]) || !isLowerHex(s[36:52]) {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(s[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(s[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// IDSource generates trace and span IDs from a splitmix64 stream. It is
+// safe for concurrent use (one atomic add per 8 bytes of ID) and fully
+// deterministic for a given seed, which lets tests pin exact IDs.
+type IDSource struct{ state atomic.Uint64 }
+
+// NewIDSource returns a source seeded with seed.
+func NewIDSource(seed uint64) *IDSource {
+	s := &IDSource{}
+	s.state.Store(seed)
+	return s
+}
+
+// newRandomIDSource seeds from crypto/rand, falling back to a fixed odd
+// constant if the system source fails (IDs must keep flowing regardless).
+func newRandomIDSource() *IDSource {
+	var b [8]byte
+	seed := uint64(0x9e3779b97f4a7c15)
+	if _, err := crand.Read(b[:]); err == nil {
+		seed = binary.LittleEndian.Uint64(b[:])
+	}
+	return NewIDSource(seed)
+}
+
+// next advances the splitmix64 stream one step.
+func (s *IDSource) next() uint64 {
+	z := s.state.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TraceID returns a new non-zero trace ID.
+func (s *IDSource) TraceID() TraceID {
+	for {
+		var t TraceID
+		binary.BigEndian.PutUint64(t[:8], s.next())
+		binary.BigEndian.PutUint64(t[8:], s.next())
+		if !t.IsZero() {
+			return t
+		}
+	}
+}
+
+// SpanID returns a new non-zero span ID.
+func (s *IDSource) SpanID() SpanID {
+	for {
+		var id SpanID
+		binary.BigEndian.PutUint64(id[:], s.next())
+		if !id.IsZero() {
+			return id
+		}
+	}
+}
+
+// Tracer ties an ID source to a flight recorder. A process builds one
+// Tracer at startup, binds it into request contexts (ContextWithTracer,
+// usually via the resilience middleware), and every observe.Span under
+// that context records structure into the recorder in addition to its
+// usual histogram sample.
+type Tracer struct {
+	ids *IDSource
+	rec *FlightRecorder
+}
+
+// NewTracer builds a tracer recording into rec. A nil ids gets a
+// crypto/rand-seeded source; tests pass NewIDSource(seed) to pin IDs.
+func NewTracer(rec *FlightRecorder, ids *IDSource) *Tracer {
+	if ids == nil {
+		ids = newRandomIDSource()
+	}
+	if rec == nil {
+		rec = NewFlightRecorder(RecorderConfig{})
+	}
+	return &Tracer{ids: ids, rec: rec}
+}
+
+// Recorder returns the tracer's flight recorder.
+func (t *Tracer) Recorder() *FlightRecorder { return t.rec }
+
+// ContextWithTracer binds a tracer into the context; spans started under
+// it record into the tracer's flight recorder.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the tracer bound by ContextWithTracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// ContextWithRemoteParent records a span context received from another
+// process (parsed from its traceparent header). The next span started
+// under this context becomes a local root joining the remote trace as a
+// child of the remote span.
+func ContextWithRemoteParent(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteParentKey, sc)
+}
+
+// SpanContextFrom returns the identity of the innermost active span, or
+// the remote parent when no local span has started yet, or the zero
+// SpanContext. Its Traceparent() is what outbound HTTP hops inject.
+func SpanContextFrom(ctx context.Context) SpanContext {
+	if st, ok := ctx.Value(activeSpanKey).(*spanState); ok && st != nil {
+		return st.sc
+	}
+	sc, _ := ctx.Value(remoteParentKey).(SpanContext)
+	return sc
+}
+
+// TraceIDFrom returns the hex trace ID of the context's span, or "".
+// The slog correlate handler joins it into every log record.
+func TraceIDFrom(ctx context.Context) string {
+	if sc := SpanContextFrom(ctx); sc.Valid() {
+		return sc.TraceID.String()
+	}
+	return ""
+}
+
+// Inject writes the context's span identity into an outbound header set.
+// No-op when the context carries no valid span.
+func Inject(ctx context.Context, h headerSetter) {
+	if sc := SpanContextFrom(ctx); sc.Valid() {
+		h.Set(HeaderTraceparent, sc.Traceparent())
+	}
+}
+
+// headerSetter is satisfied by http.Header.
+type headerSetter interface{ Set(key, value string) }

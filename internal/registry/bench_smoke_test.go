@@ -47,7 +47,7 @@ func TestRegistrySmoke(t *testing.T) {
 	}
 	models := testModels(t)
 	st, srv := newTestServer(t)
-	if _, _, err := st.Publish(models[0], "bench", "bench"); err != nil {
+	if _, _, err := st.Publish(models[0], "bench", "bench", ""); err != nil {
 		t.Fatal(err)
 	}
 

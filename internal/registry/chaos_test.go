@@ -28,7 +28,7 @@ func TestTornManifestRebuild(t *testing.T) {
 	dir := t.TempDir()
 	st, _ := openTestStore(t, dir)
 	for _, m := range models[:2] {
-		if _, _, err := st.Publish(m, "", "test"); err != nil {
+		if _, _, err := st.Publish(m, "", "test", ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -69,7 +69,7 @@ func TestFlipByteQuarantinedOnRescan(t *testing.T) {
 	dir := t.TempDir()
 	st, _ := openTestStore(t, dir)
 	for _, m := range models[:2] {
-		if _, _, err := st.Publish(m, "", "test"); err != nil {
+		if _, _, err := st.Publish(m, "", "test", ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -101,7 +101,7 @@ func TestFlipByteQuarantinedOnGet(t *testing.T) {
 	dir := t.TempDir()
 	st, _ := openTestStore(t, dir)
 	for _, m := range models[:2] {
-		if _, _, err := st.Publish(m, "", "test"); err != nil {
+		if _, _, err := st.Publish(m, "", "test", ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -130,7 +130,7 @@ func TestCrashMidPublishLeavesNoPartialVersion(t *testing.T) {
 	models := testModels(t)
 	dir := t.TempDir()
 	st, _ := openTestStore(t, dir)
-	if _, _, err := st.Publish(models[0], "", "test"); err != nil {
+	if _, _, err := st.Publish(models[0], "", "test", ""); err != nil {
 		t.Fatal(err)
 	}
 
@@ -158,7 +158,7 @@ func TestCrashMidPublishLeavesNoPartialVersion(t *testing.T) {
 	}
 
 	// A republish after the crash gets a fresh version number and works.
-	info, dup, err := st2.Publish(models[1], "", "test")
+	info, dup, err := st2.Publish(models[1], "", "test", "")
 	if err != nil || dup {
 		t.Fatalf("republish after crash: %+v dup=%t err=%v", info, dup, err)
 	}
@@ -180,7 +180,7 @@ func TestConcurrentPublish(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, dup, err := st.Publish(models[0], "fp-same", "test")
+			_, dup, err := st.Publish(models[0], "fp-same", "test", "")
 			if err != nil {
 				t.Errorf("concurrent identical publish: %v", err)
 				return
@@ -207,7 +207,7 @@ func TestConcurrentPublish(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, dup, err := st.Publish(m, "fp-contested", "test")
+			_, dup, err := st.Publish(m, "fp-contested", "test", "")
 			mu.Lock()
 			defer mu.Unlock()
 			switch {

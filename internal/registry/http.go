@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/observe"
 	"repro/internal/resilience"
 )
 
@@ -110,7 +111,17 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	if source == "" {
 		source = "api"
 	}
-	info, dup, err := s.store.Publish(raw, q.Get("fingerprint"), source)
+	// Prefer the span context the tracing middleware already joined (the
+	// producer's build trace); fall back to parsing the raw header for
+	// bare mounts without the middleware. ParseTraceparent's strictness is
+	// the validation: hostile or malformed values are dropped, never stored.
+	traceparent := observe.SpanContextFrom(r.Context()).Traceparent()
+	if traceparent == "" {
+		if sc, ok := observe.ParseTraceparent(r.Header.Get(observe.HeaderTraceparent)); ok {
+			traceparent = sc.Traceparent()
+		}
+	}
+	info, dup, err := s.store.Publish(raw, q.Get("fingerprint"), source, traceparent)
 	switch {
 	case errors.Is(err, ErrInvalidModel):
 		met.reject("integrity")
@@ -184,6 +195,9 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(HeaderPublished, strconv.FormatInt(info.PublishedUnixMs, 10))
 	if info.Source != "" {
 		w.Header().Set(HeaderSource, info.Source)
+	}
+	if info.Traceparent != "" {
+		w.Header().Set(HeaderTraceparent, info.Traceparent)
 	}
 	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, info.SHA256) {
 		met.inc(met.notModified)

@@ -48,6 +48,12 @@ type PullerConfig struct {
 	// Metrics, when set, receives the replica-side
 	// autodetect_registry_client_* families.
 	Metrics *observe.Registry
+	// Tracer, when set, records one "model_hot_swap" span per applied
+	// version in the replica's flight recorder. When the registry echoes
+	// the traceparent persisted at publish time, the span joins that trace
+	// — the hot-swap becomes a descendant of the build that produced the
+	// model, observable end to end via /debug/traces.
+	Tracer *observe.Tracer
 }
 
 // Puller keeps one replica converged on the registry's pinned version: it
@@ -191,6 +197,9 @@ func (p *Puller) PullNow(ctx context.Context) (VersionInfo, bool, error) {
 				Source:          resp.Header.Get(HeaderSource),
 				PublishedUnixMs: published,
 			}
+			if sc, ok := observe.ParseTraceparent(resp.Header.Get(HeaderTraceparent)); ok {
+				info.Traceparent = sc.Traceparent()
+			}
 			raw = body
 			changed = true
 			return nil
@@ -213,7 +222,7 @@ func (p *Puller) PullNow(ctx context.Context) (VersionInfo, bool, error) {
 	if !changed {
 		return VersionInfo{Version: p.version}, false, nil
 	}
-	if err := p.cfg.Apply(info, raw); err != nil {
+	if err := p.apply(ctx, info, raw); err != nil {
 		return VersionInfo{}, false, fmt.Errorf("registry: applying v%d: %w", info.Version, err)
 	}
 	p.etag = `"` + info.SHA256 + `"`
@@ -224,6 +233,30 @@ func (p *Puller) PullNow(ctx context.Context) (VersionInfo, bool, error) {
 	p.logf("registry puller: applied v%d (%d bytes, sha %s, was v%d)",
 		info.Version, info.Bytes, info.SHA256[:12], prev)
 	return info, true, nil
+}
+
+// apply hands a downloaded version to cfg.Apply, wrapped in a
+// "model_hot_swap" recorder span when a tracer is configured. The span
+// joins the version's persisted publish trace (echoed by the registry in
+// HeaderTraceparent) as a remote parent, so the replica's swap shows up on
+// the producing build's timeline.
+func (p *Puller) apply(ctx context.Context, info VersionInfo, raw []byte) error {
+	if p.cfg.Tracer == nil {
+		return p.cfg.Apply(info, raw)
+	}
+	ctx = observe.ContextWithTracer(ctx, p.cfg.Tracer)
+	if sc, ok := observe.ParseTraceparent(info.Traceparent); ok {
+		ctx = observe.ContextWithRemoteParent(ctx, sc)
+	}
+	sctx, end := observe.RecorderSpan(ctx, "model_hot_swap")
+	defer end()
+	observe.SetSpanAttr(sctx, "version", strconv.Itoa(info.Version))
+	observe.SetSpanAttr(sctx, "sha256", info.SHA256[:12])
+	if err := p.cfg.Apply(info, raw); err != nil {
+		observe.SetSpanError(sctx, err.Error())
+		return err
+	}
+	return nil
 }
 
 // PublishResult is what Publish reports back to the producer.
@@ -255,6 +288,7 @@ func Publish(ctx context.Context, client *http.Client, baseURL string, raw []byt
 			return err
 		}
 		req.Header.Set("Content-Type", "application/octet-stream")
+		observe.Inject(actx, req.Header)
 		resp, err := client.Do(req)
 		if err != nil {
 			return retry.Transient(err)

@@ -77,7 +77,7 @@ func TestPullerAppliesAndPollsWithDeltas(t *testing.T) {
 		t.Fatalf("empty poll: info=%+v changed=%t err=%v", info, changed, err)
 	}
 
-	if _, _, err := store.Publish(models[0], "", "test"); err != nil {
+	if _, _, err := store.Publish(models[0], "", "test", ""); err != nil {
 		t.Fatal(err)
 	}
 	info, changed, err := p.PullNow(ctx)
@@ -98,7 +98,7 @@ func TestPullerAppliesAndPollsWithDeltas(t *testing.T) {
 	}
 
 	// Publish v2 → next poll downloads and applies it.
-	if _, _, err := store.Publish(models[1], "", "test"); err != nil {
+	if _, _, err := store.Publish(models[1], "", "test", ""); err != nil {
 		t.Fatal(err)
 	}
 	if info, changed, err := p.PullNow(ctx); err != nil || !changed || info.Version != 2 {
@@ -129,7 +129,7 @@ func TestPullerAppliesAndPollsWithDeltas(t *testing.T) {
 func TestPullerFailedApplyKeepsOldVersion(t *testing.T) {
 	models := testModels(t)
 	store, srv := newTestServer(t)
-	if _, _, err := store.Publish(models[0], "", "test"); err != nil {
+	if _, _, err := store.Publish(models[0], "", "test", ""); err != nil {
 		t.Fatal(err)
 	}
 
@@ -170,7 +170,7 @@ func TestPullerRidesOutFaultsAndRestarts(t *testing.T) {
 	models := testModels(t)
 	dir := t.TempDir()
 	store, _ := openTestStore(t, dir)
-	if _, _, err := store.Publish(models[0], "", "test"); err != nil {
+	if _, _, err := store.Publish(models[0], "", "test", ""); err != nil {
 		t.Fatal(err)
 	}
 
@@ -215,7 +215,7 @@ func TestPullerRidesOutFaultsAndRestarts(t *testing.T) {
 		t.Fatal("pull against a down registry applied something")
 	}
 	store2, _ := openTestStore(t, dir)
-	if _, _, err := store2.Publish(models[1], "", "test"); err != nil {
+	if _, _, err := store2.Publish(models[1], "", "test", ""); err != nil {
 		t.Fatal(err)
 	}
 	h2 := NewServer(store2).Handler()
@@ -253,7 +253,7 @@ func TestPullerRunLoop(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- p.Run(ctx) }()
 
-	if _, _, err := store.Publish(models[0], "", "test"); err != nil {
+	if _, _, err := store.Publish(models[0], "", "test", ""); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(10 * time.Second)

@@ -68,6 +68,10 @@ const (
 	HeaderSHA256    = "X-Registry-Sha256"
 	HeaderPublished = "X-Registry-Published-Unix-Ms"
 	HeaderSource    = "X-Registry-Source"
+	// HeaderTraceparent echoes the W3C traceparent recorded at publish
+	// time, so a puller can link its hot-swap span to the build trace that
+	// produced the version it just downloaded.
+	HeaderTraceparent = "X-Registry-Traceparent"
 )
 
 // File names and magics of the on-disk layout.
@@ -135,6 +139,11 @@ type VersionInfo struct {
 	// PublishedUnixMs is the publish wall-clock time; replicas derive
 	// model age from it.
 	PublishedUnixMs int64 `json:"published_unix_ms"`
+	// Traceparent is the W3C span context the publish request carried (the
+	// coordinator's build trace, a train run's root span, ...). Persisted
+	// so a replica pulling this version can record its hot-swap as a
+	// descendant of the build that produced the model.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // manifestState is the manifest.bin payload: the version history plus the

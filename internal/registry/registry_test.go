@@ -86,7 +86,7 @@ func TestStorePublishListGetPin(t *testing.T) {
 	st, _ := openTestStore(t, t.TempDir())
 
 	// First publish becomes v1 and current.
-	v1, dup, err := st.Publish(models[0], "fp-1", "test")
+	v1, dup, err := st.Publish(models[0], "fp-1", "test", "")
 	if err != nil || dup {
 		t.Fatalf("publish 1: info=%+v dup=%t err=%v", v1, dup, err)
 	}
@@ -94,7 +94,7 @@ func TestStorePublishListGetPin(t *testing.T) {
 		t.Fatalf("v1 record = %+v", v1)
 	}
 	// Second model becomes v2 and current advances (unpinned).
-	v2, dup, err := st.Publish(models[1], "fp-2", "test")
+	v2, dup, err := st.Publish(models[1], "fp-2", "test", "")
 	if err != nil || dup || v2.Version != 2 {
 		t.Fatalf("publish 2: info=%+v dup=%t err=%v", v2, dup, err)
 	}
@@ -103,7 +103,7 @@ func TestStorePublishListGetPin(t *testing.T) {
 	}
 
 	// Byte-identical re-publish is acknowledged as a duplicate of v2.
-	again, dup, err := st.Publish(models[1], "fp-2", "test")
+	again, dup, err := st.Publish(models[1], "fp-2", "test", "")
 	if err != nil || !dup || again.Version != 2 {
 		t.Fatalf("duplicate publish: info=%+v dup=%t err=%v", again, dup, err)
 	}
@@ -123,7 +123,7 @@ func TestStorePublishListGetPin(t *testing.T) {
 		t.Fatalf("pin v1: info=%+v rollback=%t err=%v", pinned, rollback, err)
 	}
 	// A new publish stores v3 but current stays pinned at 1.
-	v3, _, err := st.Publish(models[2], "fp-3", "test")
+	v3, _, err := st.Publish(models[2], "fp-3", "test", "")
 	if err != nil || v3.Version != 3 {
 		t.Fatalf("publish 3: info=%+v err=%v", v3, err)
 	}
@@ -143,20 +143,20 @@ func TestStorePublishListGetPin(t *testing.T) {
 func TestStorePublishRejections(t *testing.T) {
 	models := testModels(t)
 	st, _ := openTestStore(t, t.TempDir())
-	if _, _, err := st.Publish(models[0], "fp-x", "test"); err != nil {
+	if _, _, err := st.Publish(models[0], "fp-x", "test", ""); err != nil {
 		t.Fatal(err)
 	}
 
 	// Divergent bytes at an already-stored fingerprint → conflict.
-	if _, _, err := st.Publish(models[1], "fp-x", "test"); !errors.Is(err, ErrConflict) {
+	if _, _, err := st.Publish(models[1], "fp-x", "test", ""); !errors.Is(err, ErrConflict) {
 		t.Fatalf("divergent publish: err=%v, want ErrConflict", err)
 	}
 	// Garbage bytes → invalid model.
-	if _, _, err := st.Publish([]byte("not a model"), "", "test"); !errors.Is(err, ErrInvalidModel) {
+	if _, _, err := st.Publish([]byte("not a model"), "", "test", ""); !errors.Is(err, ErrInvalidModel) {
 		t.Fatalf("garbage publish: err=%v, want ErrInvalidModel", err)
 	}
 	// A torn model file (valid prefix) → invalid model, nothing stored.
-	if _, _, err := st.Publish(models[0][:len(models[0])/2], "", "test"); !errors.Is(err, ErrInvalidModel) {
+	if _, _, err := st.Publish(models[0][:len(models[0])/2], "", "test", ""); !errors.Is(err, ErrInvalidModel) {
 		t.Fatalf("torn publish: err=%v, want ErrInvalidModel", err)
 	}
 	if _, _, versions := st.List(); len(versions) != 1 {
@@ -174,7 +174,7 @@ func TestStoreRestartKeepsState(t *testing.T) {
 	dir := t.TempDir()
 	st, _ := openTestStore(t, dir)
 	for i, m := range models {
-		if _, _, err := st.Publish(m, "", "test"); err != nil {
+		if _, _, err := st.Publish(m, "", "test", ""); err != nil {
 			t.Fatalf("publish %d: %v", i, err)
 		}
 	}

@@ -255,7 +255,11 @@ func (s *Store) quarantineDir(n int, cause error) error {
 // Persistence order is model.bin → meta.bin → manifest, each atomic, so a
 // crash leaves either nothing visible or a complete, adoptable version.
 // The current pointer advances to the new version unless pinned.
-func (s *Store) Publish(raw []byte, fingerprint, source string) (VersionInfo, bool, error) {
+//
+// traceparent, when non-empty, is the producer's W3C span context; it is
+// persisted with the version and echoed to pullers so downstream hot-swap
+// spans join the producing build's trace. "" publishes untraced.
+func (s *Store) Publish(raw []byte, fingerprint, source, traceparent string) (VersionInfo, bool, error) {
 	if int64(len(raw)) > s.maxModel {
 		return VersionInfo{}, false, fmt.Errorf("%w: %d bytes exceeds cap %d", ErrInvalidModel, len(raw), s.maxModel)
 	}
@@ -295,6 +299,7 @@ func (s *Store) Publish(raw []byte, fingerprint, source string) (VersionInfo, bo
 		Languages:       len(det.Languages()),
 		Source:          source,
 		PublishedUnixMs: s.now().UnixMilli(),
+		Traceparent:     traceparent,
 	}
 	if err := os.MkdirAll(s.versionDir(n), 0o755); err != nil {
 		return VersionInfo{}, false, fmt.Errorf("registry: %w", err)

@@ -71,18 +71,24 @@ func RequestIDFrom(ctx context.Context) string {
 	return id
 }
 
-// RequestID propagates an incoming X-Request-Id (capped at 128 bytes) or
-// generates a fresh one, stores it in the request context, and echoes it
-// on the response so every reply — including 429s and recovered panics —
-// is attributable in client and server logs. The ID is also mirrored into
+// RequestID propagates a well-formed incoming X-Request-Id or generates a
+// fresh one, stores it in the request context, and echoes it on the
+// response so every reply — including 429s and recovered panics — is
+// attributable in client and server logs. The ID is also mirrored into
 // the observe context, so slog records emitted through the ctx-aware
 // methods (see observe.NewLogger and the AccessLog middleware) carry the
 // same request_id as the response header.
+//
+// Inbound IDs are accepted only when they are 1–128 bytes drawn from
+// [A-Za-z0-9._:-]; anything else — oversized values, control bytes,
+// quote/newline injection — is replaced with a generated ID so hostile
+// clients cannot pollute structured logs or downstream systems keyed by
+// the header.
 func RequestID() Middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			id := r.Header.Get(HeaderRequestID)
-			if id == "" || len(id) > 128 {
+			if !validRequestID(id) {
 				var b [8]byte
 				_, _ = rand.Read(b[:])
 				id = hex.EncodeToString(b[:])
@@ -93,6 +99,24 @@ func RequestID() Middleware {
 			next.ServeHTTP(w, r.WithContext(ctx))
 		})
 	}
+}
+
+// validRequestID reports whether an inbound request ID is safe to
+// propagate: bounded length, charset restricted to token-ish bytes.
+func validRequestID(s string) bool {
+	if s == "" || len(s) > 128 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // errorBody is the JSON error envelope shared by all middleware replies.

@@ -62,7 +62,11 @@ func Metrics(m *HTTPMetrics) Middleware {
 				m.inflight.Add(-1)
 				code := sw.Status()
 				m.requests.With(route, strconv.Itoa(code)).Inc()
-				m.latency.With(route).Observe(time.Since(start).Seconds())
+				// When the Tracing middleware opened a span upstream, attach
+				// its trace ID as the latency bucket's exemplar so slow
+				// requests can be followed into /debug/traces.
+				m.latency.With(route).ObserveExemplar(
+					time.Since(start).Seconds(), observe.TraceIDFrom(r.Context()))
 				if code == http.StatusTooManyRequests {
 					m.shed.Inc()
 				}

@@ -153,7 +153,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("table has %d values, at most %d per job", total, s.MaxTableValues))
 		return
 	}
-	st, err := s.Jobs.Submit(req.Columns, req.MinConfidence)
+	st, err := s.Jobs.Submit(r.Context(), req.Columns, req.MinConfidence)
 	if err != nil {
 		writeJobErr(w, r, err)
 		return

@@ -2,7 +2,6 @@ package service
 
 import (
 	"net/http"
-	"net/http/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -52,8 +51,11 @@ func routeLabel(r *http.Request) string {
 		}
 		return "/v1/jobs/{id}"
 	}
-	if len(r.URL.Path) >= len("/debug/pprof") && r.URL.Path[:len("/debug/pprof")] == "/debug/pprof" {
+	if strings.HasPrefix(r.URL.Path, "/debug/pprof") {
 		return "/debug/pprof"
+	}
+	if strings.HasPrefix(r.URL.Path, "/debug/traces") {
+		return "/debug/traces"
 	}
 	return "other"
 }
@@ -140,17 +142,6 @@ func (s *Server) syncModelGauges() {
 // collectors — the daemon adds pipeline metrics here.
 func (s *Server) Registry() *observe.Registry {
 	return s.observability().reg
-}
-
-// mountPprof exposes the net/http/pprof handlers on mux. Gated behind
-// Server.EnablePprof: profiling endpoints leak memory contents and must
-// stay off unless the operator asked for them.
-func mountPprof(mux *http.ServeMux) {
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // obsState is embedded in Server to keep the observability fields grouped.

@@ -116,6 +116,15 @@ type Server struct {
 	// load shedder, inside recovery). Off by default: profiles expose
 	// memory contents.
 	EnablePprof bool
+	// Tracer, when set, opens a per-request server span in its flight
+	// recorder, joins inbound traceparent headers, and stamps trace_id
+	// into logs, exemplars and the X-Trace-Id response header. Nil
+	// disables tracing entirely.
+	Tracer *observe.Tracer
+	// EnableTraceDebug mounts the flight-recorder viewer at GET
+	// /debug/traces (requires Tracer). Off by default; disabled debug
+	// surfaces answer 404 exactly like unknown paths.
+	EnableTraceDebug bool
 	// Jobs, when set, mounts the asynchronous batch-audit API under
 	// /v1/jobs. Configure it before the first Handler call.
 	Jobs *jobs.Manager
@@ -274,20 +283,34 @@ func (s *Server) Handler() http.Handler {
 	root.HandleFunc("/v1/livez", s.handleLivez)
 	root.HandleFunc("/v1/readyz", s.handleReadyz)
 	root.Handle("/metrics", obs.reg.Handler())
-	if s.EnablePprof {
-		mountPprof(root)
-	}
+	// pprof and the trace viewer share one gated mount; a disabled
+	// surface 404s exactly like an unknown path.
+	root.Handle("/debug/", observe.DebugHandler(observe.DebugOptions{
+		Pprof:    s.EnablePprof,
+		Traces:   s.EnableTraceDebug && s.Tracer != nil,
+		Recorder: s.recorder(),
+	}))
 	root.Handle("/", hardened)
 
-	// Metrics outermost after RequestID so 429s, 504s and recovered 500s
-	// are all counted; the access log inside Metrics but outside Recover
-	// sees the final status of every request.
+	// Metrics outermost after RequestID and Tracing so 429s, 504s and
+	// recovered 500s are all counted and carry trace exemplars; the
+	// access log inside Metrics but outside Recover sees the final
+	// status of every request with request_id and trace_id attached.
 	return resilience.Chain(
 		resilience.RequestID(),
+		resilience.Tracing(s.Tracer, routeLabel),
 		resilience.Metrics(obs.http),
 		resilience.AccessLog(s.Logger),
 		resilience.Recover(s.recoverLogf()),
 	)(root)
+}
+
+// recorder returns the tracer's flight recorder, or nil without one.
+func (s *Server) recorder() *observe.FlightRecorder {
+	if s.Tracer == nil {
+		return nil
+	}
+	return s.Tracer.Recorder()
 }
 
 // recoverLogf adapts the configured logger for the panic-recovery
