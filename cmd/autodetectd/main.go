@@ -75,6 +75,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -131,8 +132,10 @@ func main() {
 	ioRetries := flag.Int("io-retries", 3, "attempts per table file for transient I/O errors; 1 disables retrying (-train-dir)")
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 1, "random seed when -train is set")
-	maxInflight := flag.Int("max-inflight", 256, "concurrent requests before shedding with 429 (0 disables)")
-	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
+	maxInflight := flag.Int("max-inflight", 256, "concurrent requests before shedding with 429 (0 disables); the upper bound of the adaptive admission limit")
+	latencyTarget := flag.Duration("latency-target", 250*time.Millisecond, "latency the adaptive admission limit steers toward: slower completions shrink the limit, shedding background traffic first")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables); an inbound X-Deadline-Ms budget tightens it")
+	maxModelStaleness := flag.Duration("max-model-staleness", 0, "/v1/readyz reports status=degraded (still 200) once the served model is older than this (0 disables)")
 	maxBodyBytes := flag.Int64("max-body-bytes", 8<<20, "request body cap in bytes (0 disables)")
 	maxTableValues := flag.Int("max-table-values", 100000, "total cell cap per /v1/check-table request or batch job (0 disables)")
 	buildCoordinator := flag.Bool("build-coordinator", false, "coordinate a distributed corpus build over -train-dir instead of serving; exits once the model is written")
@@ -268,7 +271,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "autodetectd: -build-worker needs -train-dir (the local corpus copy)")
 			os.Exit(2)
 		}
-		if err := runBuildWorker(logger, tracer, *buildWorkerURL, *trainDir, *workers); err != nil {
+		if err := runBuildWorker(logger, reg, tracer, *buildWorkerURL, *trainDir, *workers); err != nil {
 			fatal("build worker failed", "error", err)
 		}
 		return
@@ -364,7 +367,9 @@ func main() {
 
 	svc := service.NewWithInfo(det, sem, initInfo)
 	svc.MaxInFlight = *maxInflight
+	svc.LatencyTarget = *latencyTarget
 	svc.RequestTimeout = *requestTimeout
+	svc.MaxModelStaleness = *maxModelStaleness
 	svc.MaxBodyBytes = *maxBodyBytes
 	svc.MaxTableValues = *maxTableValues
 	svc.Logger = logger
@@ -401,10 +406,27 @@ func main() {
 	// hot-swaps through the same atomic path as /v1/admin/reload.
 	var puller *registry.Puller
 	if *registryURL != "" {
+		// The pull path gets the full degradation kit: a breaker so a dead
+		// registry costs one local rejection per poll instead of a retry
+		// storm, and a retry budget bounding fleet-wide amplification. An
+		// open breaker surfaces on /v1/readyz as degraded-but-serving.
+		pullBreaker := resilience.NewBreaker(resilience.BreakerConfig{
+			Name:    "registry_pull",
+			Metrics: reg,
+			Logf:    func(format string, args ...any) { logger.Warn(fmt.Sprintf(format, args...)) },
+		})
+		svc.DegradedCheck = func() []string {
+			if pullBreaker.State() != resilience.BreakerClosed {
+				return []string{"registry_breaker_open"}
+			}
+			return nil
+		}
 		var err error
 		puller, err = registry.NewPuller(registry.PullerConfig{
-			URL:  *registryURL,
-			Poll: *registryPoll,
+			URL:     *registryURL,
+			Poll:    *registryPoll,
+			Breaker: pullBreaker,
+			Budget:  resilience.NewRetryBudget(resilience.BudgetConfig{Name: "registry_pull", Metrics: reg}),
 			Apply: func(info registry.VersionInfo, raw []byte) error {
 				d, err := core.Load(bytes.NewReader(raw))
 				if err != nil {
@@ -647,8 +669,16 @@ func runBuildCoordinator(logger *slog.Logger, reg *observe.Registry, p coordPara
 		}
 		fp := pipeline.BuildFingerprint(part.Fingerprint(), p.Options)
 		pubCtx, endPublish := observe.RecorderSpan(coord.TraceContext(), "publish_model")
-		pres, err := registry.Publish(pubCtx, nil, p.RegistryURL,
-			buf.Bytes(), fp, "distbuild", retry.Policy{MaxAttempts: 10})
+		pres, err := registry.PublishModel(pubCtx, p.RegistryURL,
+			buf.Bytes(), fp, "distbuild", registry.PublishOptions{
+				Retry: retry.Policy{MaxAttempts: 10},
+				Breaker: resilience.NewBreaker(resilience.BreakerConfig{
+					Name:    "registry_publish",
+					Metrics: reg,
+					Logf:    func(format string, args ...any) { logger.Warn(fmt.Sprintf(format, args...)) },
+				}),
+				Budget: resilience.NewRetryBudget(resilience.BudgetConfig{Name: "registry_publish", Metrics: reg}),
+			})
 		if err != nil {
 			observe.SetSpanError(pubCtx, err.Error())
 			endPublish()
@@ -703,7 +733,7 @@ func runBuildCoordinator(logger *slog.Logger, reg *observe.Registry, p coordPara
 // runBuildWorker joins a distributed build and works until the coordinator
 // reports it complete. The generous retry budget is deliberate: a worker
 // should ride out a coordinator restart, not die during one.
-func runBuildWorker(logger *slog.Logger, tracer *observe.Tracer, coordinator, dir string, workers int) error {
+func runBuildWorker(logger *slog.Logger, reg *observe.Registry, tracer *observe.Tracer, coordinator, dir string, workers int) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	logger.Info("build worker starting", "coordinator", coordinator, "dir", dir, "workers", workers)
@@ -712,14 +742,20 @@ func runBuildWorker(logger *slog.Logger, tracer *observe.Tracer, coordinator, di
 		Dir:         dir,
 		Workers:     workers,
 		Retry:       retry.Policy{MaxAttempts: 10},
-		Tracer:      tracer,
-		Logf:        func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) },
+		Breaker: resilience.NewBreaker(resilience.BreakerConfig{
+			Name:    "distbuild_worker",
+			Metrics: reg,
+			Logf:    func(format string, args ...any) { logger.Warn(fmt.Sprintf(format, args...)) },
+		}),
+		Budget: resilience.NewRetryBudget(resilience.BudgetConfig{Name: "distbuild_worker", Metrics: reg}),
+		Tracer: tracer,
+		Logf:   func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) },
 	})
 	if err != nil {
 		return err
 	}
 	logger.Info("build worker done", "partitions_counted", st.PartitionsCounted,
-		"leases_lost", st.LeasesLost, "waits", st.Waits)
+		"leases_lost", st.LeasesLost, "waits", st.Waits, "breaker_waits", st.BreakerWaits)
 	return nil
 }
 
@@ -766,9 +802,23 @@ func runRegistryServer(logger *slog.Logger, reg *observe.Registry, p registryPar
 
 	httpMetrics := resilience.NewHTTPMetrics(reg)
 	httpMetrics.Route = registry.RouteLabel
+	// The registry's traffic is fleet-internal: pulls and publishes retry
+	// under budgets, so they are background tier and shed first; the pin
+	// surface (an operator rolling back a bad model) is critical and never
+	// shed.
+	adm := resilience.NewAdmission(resilience.AdmissionConfig{
+		MaxConcurrency: p.MaxInFlight,
+		Metrics:        reg,
+		Tier: func(r *http.Request) resilience.Tier {
+			if strings.HasPrefix(r.URL.Path, registry.PathPin) {
+				return resilience.TierCritical
+			}
+			return resilience.TierBackground
+		},
+	})
 	hardened := resilience.Chain(
-		resilience.Limit(p.MaxInFlight, resilience.DefaultRetryAfter),
-		resilience.Timeout(p.RequestTimeout),
+		adm.Middleware(),
+		resilience.DeadlineBudget(p.RequestTimeout, nil, reg),
 		resilience.MaxBytes(p.MaxBodyBytes),
 	)(registry.NewServer(store).Handler())
 	root := http.NewServeMux()

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/observe"
 	"repro/internal/pipeline"
+	"repro/internal/resilience"
 	"repro/internal/retry"
 )
 
@@ -45,6 +46,13 @@ type WorkerConfig struct {
 	// retry package defaults; AttemptTimeout additionally defaults to
 	// DefaultAttemptTimeout.
 	Retry retry.Policy
+	// Breaker, when set, guards the coordinator dependency: every call asks
+	// Allow first, and while open the worker sits out a cooldown instead of
+	// hammering a coordinator that is down or drowning.
+	Breaker *resilience.Breaker
+	// Budget, when set, bounds retry amplification across all coordinator
+	// calls; folded into Retry.Budget unless that is already set.
+	Budget retry.Budget
 	// Tracer, when set, records a per-lease counting span into its flight
 	// recorder as a child of the coordinator's build trace (joined via
 	// the lease's traceparent) and injects the span context into every
@@ -64,7 +72,16 @@ type WorkerStats struct {
 	LeasesLost int
 	// Waits counts lease requests answered "all partitions busy".
 	Waits int
+	// BreakerWaits counts cooldowns spent because the coordinator breaker
+	// was open.
+	BreakerWaits int
 }
+
+// breakerCooldown is how long a worker sits out after its coordinator
+// breaker rejects a lease request. Each loop while open costs the
+// coordinator nothing (the rejection is local), so a short cooldown keeps
+// the worker responsive to the breaker's half-open probe window.
+const breakerCooldown = time.Second
 
 // worker carries the per-run state of RunWorker.
 type worker struct {
@@ -96,6 +113,9 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 	if cfg.Retry.AttemptTimeout == 0 {
 		cfg.Retry.AttemptTimeout = DefaultAttemptTimeout
 	}
+	if cfg.Retry.Budget == nil {
+		cfg.Retry.Budget = cfg.Budget
+	}
 	w := &worker{
 		cfg:    cfg,
 		client: cfg.HTTP,
@@ -114,6 +134,16 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 		}
 		var lease LeaseResponse
 		if err := w.postJSON(ctx, PathLease, LeaseRequest{Worker: cfg.Name}, &lease); err != nil {
+			if errors.Is(err, resilience.ErrBreakerOpen) {
+				// The coordinator breaker is open: sit out a cooldown and
+				// re-ask. A down coordinator should idle workers, not kill
+				// them — the build resumes when the breaker's probe heals.
+				stats.BreakerWaits++
+				if serr := sleep(ctx, breakerCooldown); serr != nil {
+					return stats, serr
+				}
+				continue
+			}
 			return stats, fmt.Errorf("distbuild: requesting lease: %w", err)
 		}
 		switch {
@@ -267,13 +297,14 @@ func (w *worker) postJSON(ctx context.Context, path string, in, out any) error {
 // a fresh request (and body reader) per attempt so retries of a torn upload
 // resend from byte zero.
 func (w *worker) do(ctx context.Context, url, contentType string, body []byte, out any) error {
-	return w.cfg.Retry.DoCtx(ctx, func(actx context.Context) error {
+	attempt := func(actx context.Context) error {
 		req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
 		req.Header.Set("Content-Type", contentType)
 		observe.Inject(actx, req.Header)
+		resilience.AttachDeadline(actx, req.Header, 0)
 		resp, err := w.client.Do(req)
 		if err != nil {
 			// Transport-level failures (resets, refused connections,
@@ -304,10 +335,30 @@ func (w *worker) do(ctx context.Context, url, contentType string, body []byte, o
 		case resp.StatusCode == http.StatusGone:
 			return fmt.Errorf("%w: %s", errLeaseLost, httpMessage(resp.StatusCode, raw))
 		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
-			return retry.Transient(errors.New(httpMessage(resp.StatusCode, raw)))
+			// A shedding coordinator's Retry-After hint is the backoff
+			// floor: the worker never comes back sooner than asked.
+			return resilience.RetryAfterFloor(
+				retry.Transient(errors.New(httpMessage(resp.StatusCode, raw))), resp.Header)
 		default:
 			return errors.New(httpMessage(resp.StatusCode, raw))
 		}
+	}
+	return w.cfg.Retry.DoCtx(ctx, func(actx context.Context) error {
+		if b := w.cfg.Breaker; b != nil {
+			if aerr := b.Allow(); aerr != nil {
+				// Non-transient: collapses the retry loop into one local
+				// rejection while the breaker is open.
+				return aerr
+			}
+			err := attempt(actx)
+			rerr := err
+			if errors.Is(rerr, errLeaseLost) {
+				rerr = nil // a 410 is the coordinator answering; healthy
+			}
+			b.Record(rerr)
+			return err
+		}
+		return attempt(actx)
 	})
 }
 

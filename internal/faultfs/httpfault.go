@@ -1,6 +1,7 @@
 package faultfs
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/retry"
 )
@@ -40,6 +42,18 @@ type HTTPConfig struct {
 	// TruncateAfter is the byte offset of injected response tears
 	// (default 64).
 	TruncateAfter int64
+	// StallRate is the fraction of round trips that hang — the request is
+	// never delivered and RoundTrip blocks until the request context is
+	// cancelled. This is the fault that a plain retry loop cannot ride out
+	// without per-attempt timeouts: nothing errors, nothing answers.
+	StallRate float64
+	// TrickleRate is the fraction of round trips whose response body
+	// arrives one byte per TrickleDelay — the slow-loris read-side fault
+	// that holds a caller's connection (and deadline budget) hostage
+	// without ever failing.
+	TrickleRate float64
+	// TrickleDelay is the per-byte delay of trickled bodies (default 10ms).
+	TrickleDelay time.Duration
 	// RecoverAfter caps consecutive faults per request key (default 2): a
 	// key that has eaten that many faults in a row passes through cleanly
 	// at least once before it can be faulted again.
@@ -60,11 +74,16 @@ type Transport struct {
 	seq  map[string]uint64 // round trips observed per key, for determinism
 	runs map[string]int    // consecutive faults delivered per key
 
+	stallMu sync.Mutex
+	stallCh chan struct{} // non-nil while force-stalled; closed on heal
+
 	requests   atomic.Uint64
 	drops      atomic.Uint64
 	serverErrs atomic.Uint64
 	blackholes atomic.Uint64
 	truncates  atomic.Uint64
+	stalls     atomic.Uint64
+	trickles   atomic.Uint64
 }
 
 // NewTransport wraps next (default http.DefaultTransport) with fault
@@ -82,6 +101,9 @@ func NewTransport(next http.RoundTripper, cfg HTTPConfig) *Transport {
 	if cfg.RetryAfterSeconds <= 0 {
 		cfg.RetryAfterSeconds = 1
 	}
+	if cfg.TrickleDelay <= 0 {
+		cfg.TrickleDelay = 10 * time.Millisecond
+	}
 	return &Transport{next: next, cfg: cfg, seq: make(map[string]uint64), runs: make(map[string]int)}
 }
 
@@ -94,6 +116,8 @@ const (
 	faultServerError
 	faultBlackhole
 	faultTruncate
+	faultStall
+	faultTrickle
 )
 
 // RoundTrip implements http.RoundTripper. Injected connection-level errors
@@ -103,6 +127,19 @@ const (
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	t.requests.Add(1)
 	key := req.Method + " " + req.URL.Path
+	if ch := t.stallGate(); ch != nil {
+		// Forced stall (SetStall): hang until the caller gives up or the
+		// fault is healed; healing releases in-flight round trips to
+		// proceed normally, modelling an upstream that un-wedges.
+		t.stalls.Add(1)
+		select {
+		case <-req.Context().Done():
+			drainRequest(req)
+			return nil, retry.Transient(fmt.Errorf("%w: stalled %s until caller gave up: %v",
+				ErrInjected, key, req.Context().Err()))
+		case <-ch:
+		}
+	}
 	kind := t.pick(key)
 	switch kind {
 	case faultDrop:
@@ -143,6 +180,21 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		resp.Body = &truncatedBody{rc: resp.Body, after: t.cfg.TruncateAfter, key: key}
 		resp.ContentLength = -1
 		return resp, nil
+	case faultStall:
+		t.stalls.Add(1)
+		<-req.Context().Done()
+		drainRequest(req)
+		return nil, retry.Transient(fmt.Errorf("%w: stalled %s until caller gave up: %v",
+			ErrInjected, key, req.Context().Err()))
+	case faultTrickle:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		t.trickles.Add(1)
+		resp.Body = &trickleBody{rc: resp.Body, delay: t.cfg.TrickleDelay, ctx: req.Context()}
+		resp.ContentLength = -1
+		return resp, nil
 	default:
 		return t.next.RoundTrip(req)
 	}
@@ -166,6 +218,10 @@ func (t *Transport) pick(key string) faultKind {
 			kind = faultBlackhole
 		case t.drawn("truncate", key, n, t.cfg.TruncateRate):
 			kind = faultTruncate
+		case t.drawn("stall", key, n, t.cfg.StallRate):
+			kind = faultStall
+		case t.drawn("trickle", key, n, t.cfg.TrickleRate):
+			kind = faultTrickle
 		}
 	}
 	if kind == faultNone {
@@ -212,9 +268,44 @@ func (t *Transport) Blackholes() uint64 { return t.blackholes.Load() }
 // Truncates reports torn response bodies.
 func (t *Transport) Truncates() uint64 { return t.truncates.Load() }
 
+// Stalls reports round trips that hung until caller cancellation (rate-based
+// and forced).
+func (t *Transport) Stalls() uint64 { return t.stalls.Load() }
+
+// Trickles reports slow-loris response bodies delivered byte-by-byte.
+func (t *Transport) Trickles() uint64 { return t.trickles.Load() }
+
 // Faults reports the total injected faults of all kinds.
 func (t *Transport) Faults() uint64 {
-	return t.Drops() + t.ServerErrors() + t.Blackholes() + t.Truncates()
+	return t.Drops() + t.ServerErrors() + t.Blackholes() + t.Truncates() + t.Stalls() + t.Trickles()
+}
+
+// SetStall toggles the forced-stall fault: while on, every round trip hangs
+// (bypassing rates and the RecoverAfter progress cap) until the caller's
+// context is cancelled or the stall is healed with SetStall(false), which
+// also releases the round trips currently hanging. This is the chaos
+// harness's "upstream wedged / upstream recovered" switch.
+func (t *Transport) SetStall(on bool) {
+	t.stallMu.Lock()
+	defer t.stallMu.Unlock()
+	if on {
+		if t.stallCh == nil {
+			t.stallCh = make(chan struct{})
+		}
+		return
+	}
+	if t.stallCh != nil {
+		close(t.stallCh)
+		t.stallCh = nil
+	}
+}
+
+// stallGate returns the channel a forced-stalled round trip must wait on,
+// or nil when no forced stall is active.
+func (t *Transport) stallGate() chan struct{} {
+	t.stallMu.Lock()
+	defer t.stallMu.Unlock()
+	return t.stallCh
 }
 
 // drainRequest disposes of the request body on paths that never hand the
@@ -249,3 +340,25 @@ func (b *truncatedBody) Read(p []byte) (int, error) {
 }
 
 func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// trickleBody delivers the response one byte per delay — a read-side
+// slow-loris. Cancelling the request context aborts the dribble.
+type trickleBody struct {
+	rc    io.ReadCloser
+	delay time.Duration
+	ctx   context.Context
+}
+
+func (b *trickleBody) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	select {
+	case <-b.ctx.Done():
+		return 0, retry.Transient(fmt.Errorf("%w: trickled body abandoned: %v", ErrInjected, b.ctx.Err()))
+	case <-time.After(b.delay):
+	}
+	return b.rc.Read(p[:1])
+}
+
+func (b *trickleBody) Close() error { return b.rc.Close() }

@@ -223,3 +223,146 @@ func TestHTTPWithRetryPolicy(t *testing.T) {
 		t.Errorf("Drops = %d, want 2 before recovery", tr.Drops())
 	}
 }
+
+func TestHTTPForcedStallBlocksUntilCancel(t *testing.T) {
+	var hits atomic.Uint64
+	srv := echoServer(t, &hits)
+	tr := NewTransport(srv.Client().Transport, HTTPConfig{Seed: 1})
+	c := &http.Client{Transport: tr}
+	tr.SetStall(true)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/models", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Do(req)
+	if err == nil {
+		t.Fatal("stalled request must fail once the context expires")
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("request failed after %v, want a hang until the ~50ms deadline", elapsed)
+	}
+	if hits.Load() != 0 {
+		t.Errorf("server saw %d requests, want 0 (stalls never deliver)", hits.Load())
+	}
+	if tr.Stalls() == 0 {
+		t.Error("Stalls counter never incremented")
+	}
+}
+
+func TestHTTPForcedStallHealReleasesInFlight(t *testing.T) {
+	var hits atomic.Uint64
+	srv := echoServer(t, &hits)
+	tr := NewTransport(srv.Client().Transport, HTTPConfig{Seed: 1})
+	c := &http.Client{Transport: tr}
+	tr.SetStall(true)
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := get(t, c, srv.URL+"/models")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	// Give the round trip time to park on the stall gate, then heal.
+	time.Sleep(20 * time.Millisecond)
+	tr.SetStall(false)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("healed request failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("healing the stall did not release the in-flight request")
+	}
+	if hits.Load() != 1 {
+		t.Errorf("server saw %d requests, want 1 after heal", hits.Load())
+	}
+}
+
+func TestHTTPRateStallRespectsRecoverAfter(t *testing.T) {
+	var hits atomic.Uint64
+	srv := echoServer(t, &hits)
+	tr := NewTransport(srv.Client().Transport, HTTPConfig{Seed: 1, StallRate: 1, RecoverAfter: 2})
+	c := &http.Client{Transport: tr}
+	// With StallRate 1 and RecoverAfter 2, the third attempt passes clean.
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/models", nil)
+		resp, err := c.Do(req)
+		cancel()
+		if i < 2 {
+			if err == nil {
+				t.Fatalf("attempt %d: expected a stall, got a response", i)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("attempt %d after RecoverAfter: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if got := tr.Stalls(); got != 2 {
+		t.Errorf("Stalls = %d, want 2", got)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("server saw %d requests, want 1", hits.Load())
+	}
+}
+
+func TestHTTPTrickleDribblesBody(t *testing.T) {
+	var hits atomic.Uint64
+	srv := echoServer(t, &hits)
+	tr := NewTransport(srv.Client().Transport, HTTPConfig{
+		Seed: 1, TrickleRate: 1, TrickleDelay: time.Millisecond, RecoverAfter: 1,
+	})
+	c := &http.Client{Transport: tr}
+	resp, err := get(t, c, srv.URL+"/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading trickled body: %v", err)
+	}
+	want := strings.Repeat("corpus-shard-bytes.", 20)
+	if string(body) != want {
+		t.Fatalf("trickled body corrupted: %d bytes, want %d", len(body), len(want))
+	}
+	// One byte per ~1ms over ~380 bytes: the read must have taken a while.
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("trickled read finished in %v, want a visible dribble", elapsed)
+	}
+	if tr.Trickles() != 1 {
+		t.Errorf("Trickles = %d, want 1", tr.Trickles())
+	}
+}
+
+func TestHTTPTrickleAbortsOnCancel(t *testing.T) {
+	var hits atomic.Uint64
+	srv := echoServer(t, &hits)
+	tr := NewTransport(srv.Client().Transport, HTTPConfig{
+		Seed: 1, TrickleRate: 1, TrickleDelay: 20 * time.Millisecond, RecoverAfter: 1,
+	})
+	c := &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/models", nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, err = io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("trickled read must abort when the context expires")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/observe"
+	"repro/internal/resilience"
 	"repro/internal/retry"
 )
 
@@ -37,6 +38,15 @@ type PullerConfig struct {
 	// package defaults; AttemptTimeout additionally defaults to a minute
 	// so one hung download is abandoned and restarted.
 	Retry retry.Policy
+	// Breaker, when set, guards the registry dependency: every attempt asks
+	// Allow first, and an open breaker aborts the whole poll round with one
+	// cheap ErrBreakerOpen instead of a storm of doomed requests. Outcomes
+	// feed back in (304/200/404 count as registry-healthy).
+	Breaker *resilience.Breaker
+	// Budget, when set, bounds retry amplification: each retry of a failed
+	// attempt spends a token, each success deposits a fraction of one.
+	// Folded into Retry.Budget unless that is already set.
+	Budget retry.Budget
 	// MaxModelBytes caps accepted downloads (default DefaultMaxModelBytes).
 	MaxModelBytes int64
 	// Apply receives each newly pulled version's digest-verified bytes.
@@ -94,6 +104,9 @@ func NewPuller(cfg PullerConfig) (*Puller, error) {
 	if cfg.Retry.AttemptTimeout == 0 {
 		cfg.Retry.AttemptTimeout = time.Minute
 	}
+	if cfg.Retry.Budget == nil {
+		cfg.Retry.Budget = cfg.Budget
+	}
 	p := &Puller{cfg: cfg, client: cfg.HTTP, logf: cfg.Logf, met: newPullerMetrics(cfg.Metrics)}
 	if p.client == nil {
 		p.client = http.DefaultClient
@@ -143,7 +156,7 @@ func (p *Puller) PullNow(ctx context.Context) (VersionInfo, bool, error) {
 	var raw []byte
 	changed := false
 	start := time.Now()
-	err := p.cfg.Retry.DoCtx(ctx, func(actx context.Context) error {
+	attempt := func(actx context.Context) error {
 		p.met.inc(p.met.polls)
 		req, err := http.NewRequestWithContext(actx, http.MethodGet,
 			p.cfg.URL+PathModels+"/current", nil)
@@ -153,6 +166,7 @@ func (p *Puller) PullNow(ctx context.Context) (VersionInfo, bool, error) {
 		if p.etag != "" {
 			req.Header.Set("If-None-Match", p.etag)
 		}
+		resilience.AttachDeadline(actx, req.Header, 0)
 		resp, err := p.client.Do(req)
 		if err != nil {
 			// Transport-level failures (resets, refused connections during a
@@ -207,10 +221,30 @@ func (p *Puller) PullNow(ctx context.Context) (VersionInfo, bool, error) {
 			io.Copy(io.Discard, resp.Body)
 			return errNoModel
 		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
-			return retry.Transient(errors.New(httpMessage(resp)))
+			// An overloaded registry's Retry-After hint becomes the backoff
+			// floor: never hammer a server that asked for breathing room.
+			return resilience.RetryAfterFloor(
+				retry.Transient(errors.New(httpMessage(resp))), resp.Header)
 		default:
 			return errors.New(httpMessage(resp))
 		}
+	}
+	err := p.cfg.Retry.DoCtx(ctx, func(actx context.Context) error {
+		if b := p.cfg.Breaker; b != nil {
+			if aerr := b.Allow(); aerr != nil {
+				// ErrBreakerOpen is not transient: the whole round collapses
+				// into this one rejection, costing the registry nothing.
+				return aerr
+			}
+			err := attempt(actx)
+			rerr := err
+			if errors.Is(rerr, errNoModel) {
+				rerr = nil // the registry answered; empty is healthy
+			}
+			b.Record(rerr)
+			return err
+		}
+		return attempt(actx)
 	})
 	if errors.Is(err, errNoModel) {
 		// Nothing published yet: quietly poll again next tick.
@@ -268,27 +302,57 @@ type PublishResult struct {
 	Current int    `json:"current"`
 }
 
-// Publish uploads model bytes to a registry under a retry policy — the
-// producer-side client used by the distbuild coordinator's finalize step
-// and `autodetect train`. Transport failures, 429s, and 5xx answers are
-// retried (publish is idempotent: a retry of a landed upload is
-// acknowledged as a duplicate); a 409 conflict is permanent.
+// PublishOptions shapes PublishModel.
+type PublishOptions struct {
+	// Client issues the upload (default http.DefaultClient).
+	Client *http.Client
+	// Retry shapes the upload attempts; AttemptTimeout defaults to a
+	// minute.
+	Retry retry.Policy
+	// Breaker, when set, guards the registry: an open breaker fails the
+	// publish fast with ErrBreakerOpen instead of burning attempts against
+	// a dead upstream (the coordinator's finalize step keeps the artifacts
+	// and can re-publish once it closes).
+	Breaker *resilience.Breaker
+	// Budget, when set, bounds retry amplification; folded into
+	// Retry.Budget unless that is already set.
+	Budget retry.Budget
+}
+
+// Publish uploads model bytes to a registry under a retry policy — kept as
+// a thin wrapper over PublishModel for existing callers.
 func Publish(ctx context.Context, client *http.Client, baseURL string, raw []byte, fingerprint, source string, pol retry.Policy) (PublishResult, error) {
+	return PublishModel(ctx, baseURL, raw, fingerprint, source, PublishOptions{Client: client, Retry: pol})
+}
+
+// PublishModel uploads model bytes to a registry — the producer-side
+// client used by the distbuild coordinator's finalize step and
+// `autodetect train`. Transport failures, 429s, and 5xx answers are
+// retried with any Retry-After hint honored as a backoff floor (publish is
+// idempotent: a retry of a landed upload is acknowledged as a duplicate);
+// a 409 conflict is permanent.
+func PublishModel(ctx context.Context, baseURL string, raw []byte, fingerprint, source string, opts PublishOptions) (PublishResult, error) {
+	client := opts.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
+	pol := opts.Retry
 	if pol.AttemptTimeout == 0 {
 		pol.AttemptTimeout = time.Minute
 	}
+	if pol.Budget == nil {
+		pol.Budget = opts.Budget
+	}
 	url := baseURL + PathModels + "?fingerprint=" + urlQueryEscape(fingerprint) + "&source=" + urlQueryEscape(source)
 	var res PublishResult
-	err := pol.DoCtx(ctx, func(actx context.Context) error {
+	attempt := func(actx context.Context) error {
 		req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(raw))
 		if err != nil {
 			return err
 		}
 		req.Header.Set("Content-Type", "application/octet-stream")
 		observe.Inject(actx, req.Header)
+		resilience.AttachDeadline(actx, req.Header, 0)
 		resp, err := client.Do(req)
 		if err != nil {
 			return retry.Transient(err)
@@ -307,10 +371,22 @@ func Publish(ctx context.Context, client *http.Client, baseURL string, raw []byt
 			}
 			return nil
 		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
-			return retry.Transient(errors.New(httpMessage(resp, body...)))
+			return resilience.RetryAfterFloor(
+				retry.Transient(errors.New(httpMessage(resp, body...))), resp.Header)
 		default:
 			return errors.New(httpMessage(resp, body...))
 		}
+	}
+	err := pol.DoCtx(ctx, func(actx context.Context) error {
+		if b := opts.Breaker; b != nil {
+			if aerr := b.Allow(); aerr != nil {
+				return aerr
+			}
+			err := attempt(actx)
+			b.Record(err)
+			return err
+		}
+		return attempt(actx)
 	})
 	return res, err
 }

@@ -10,12 +10,14 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/faultfs"
 	"repro/internal/observe"
+	"repro/internal/resilience"
 	"repro/internal/retry"
 )
 
@@ -302,5 +304,120 @@ func TestPublishClient(t *testing.T) {
 		srv.URL, models[1], "fp-2", "test", pol)
 	if err != nil || res.Version != 2 {
 		t.Fatalf("faulty publish: %+v err=%v", res, err)
+	}
+}
+
+// TestPullerHonorsRetryAfterFloor: a 503 carrying Retry-After must pace
+// the next attempt at least that far out, even when the policy's own
+// backoff would come back sooner.
+func TestPullerHonorsRetryAfterFloor(t *testing.T) {
+	var calls atomic.Int64
+	var gaps []time.Duration
+	var last time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
+		if !last.IsZero() {
+			gaps = append(gaps, now.Sub(last))
+		}
+		last = now
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	p, _ := NewPuller(PullerConfig{
+		URL:  srv.URL,
+		HTTP: srv.Client(),
+		Retry: retry.Policy{
+			MaxAttempts: 4,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    2 * time.Millisecond,
+		},
+		Apply: func(VersionInfo, []byte) error { return nil },
+		Logf:  t.Logf,
+	})
+	if _, changed, err := p.PullNow(context.Background()); err != nil || changed {
+		t.Fatalf("PullNow: changed=%t err=%v", changed, err)
+	}
+	if len(gaps) != 2 {
+		t.Fatalf("attempts = %d, want 3 (two 503s then 404)", calls.Load())
+	}
+	for i, g := range gaps {
+		if g < time.Second {
+			t.Errorf("gap %d after 503 = %v, want >= the 1s Retry-After floor", i, g)
+		}
+	}
+}
+
+// TestPullerBreakerCollapsesRetryLoop: with the breaker open, a poll round
+// costs the registry zero requests and fails fast with ErrBreakerOpen.
+func TestPullerBreakerCollapsesRetryLoop(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	clock := time.Unix(1_700_000_000, 0)
+	var clockMu sync.Mutex
+	now := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+	br := resilience.NewBreaker(resilience.BreakerConfig{
+		Name:                "registry_pull",
+		ConsecutiveFailures: 3,
+		OpenTimeout:         10 * time.Second,
+		Clock:               now,
+	})
+	p, _ := NewPuller(PullerConfig{
+		URL:  srv.URL,
+		HTTP: srv.Client(),
+		Retry: retry.Policy{
+			MaxAttempts: 3,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    time.Millisecond,
+		},
+		Breaker: br,
+		Apply:   func(VersionInfo, []byte) error { return nil },
+		Logf:    t.Logf,
+	})
+	// First round: three 503s trip the breaker.
+	if _, _, err := p.PullNow(context.Background()); err == nil {
+		t.Fatal("first round must fail")
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("upstream requests in round 1 = %d, want 3", got)
+	}
+	if br.State() != resilience.BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", br.State())
+	}
+	// Second round: breaker open, zero upstream requests, fast failure.
+	_, _, err := p.PullNow(context.Background())
+	if !errors.Is(err, resilience.ErrBreakerOpen) {
+		t.Fatalf("open-breaker round error = %v, want ErrBreakerOpen", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("upstream requests after open-breaker round = %d, want still 3", got)
+	}
+	// Heal the upstream and elapse the open window: the probe closes it.
+	srv.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+	})
+	clockMu.Lock()
+	clock = clock.Add(11 * time.Second)
+	clockMu.Unlock()
+	if _, changed, err := p.PullNow(context.Background()); err != nil || changed {
+		t.Fatalf("post-heal round: changed=%t err=%v", changed, err)
+	}
+	if br.State() != resilience.BreakerClosed {
+		t.Fatalf("breaker state after heal = %v, want closed", br.State())
 	}
 }

@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"sync"
+
+	"repro/internal/observe"
+)
+
+// BudgetConfig parameterizes NewRetryBudget.
+type BudgetConfig struct {
+	// Name labels the budget's metrics ("registry_pull", "publish", ...).
+	// Default "default".
+	Name string
+	// Ratio is the fraction of a token deposited per successful attempt
+	// (default 0.1: one retry earned per ten successes).
+	Ratio float64
+	// Burst caps the token balance (default 10).
+	Burst float64
+	// Initial is the starting balance (default Burst), so a cold client
+	// can still ride out a brief fault before earning credit.
+	Initial float64
+	// Metrics, when set, receives the autodetect_resilience_retry_budget_*
+	// families labelled by Name.
+	Metrics *observe.Registry
+}
+
+// RetryBudget is a token bucket bounding retry amplification: every retry
+// spends one token, every success deposits Ratio of a token, and the
+// balance never exceeds Burst. Under total failure the bucket drains and
+// stays empty — total retries across all callers sharing the budget are
+// bounded by the initial balance plus deposits, no matter how many hops
+// keep failing. Implements retry.Budget; plug it into a retry.Policy's
+// Budget field. Safe for concurrent use.
+type RetryBudget struct {
+	cfg BudgetConfig
+
+	mu      sync.Mutex
+	balance float64
+
+	balanceGauge *observe.Gauge
+	exhausted    *observe.Counter
+	withdrawals  *observe.Counter
+}
+
+// NewRetryBudget applies defaults and registers the budget's metric
+// families when a registry is configured.
+func NewRetryBudget(cfg BudgetConfig) *RetryBudget {
+	if cfg.Name == "" {
+		cfg.Name = "default"
+	}
+	if cfg.Ratio <= 0 {
+		cfg.Ratio = 0.1
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 10
+	}
+	if cfg.Initial <= 0 || cfg.Initial > cfg.Burst {
+		cfg.Initial = cfg.Burst
+	}
+	b := &RetryBudget{cfg: cfg, balance: cfg.Initial}
+	if reg := cfg.Metrics; reg != nil {
+		b.balanceGauge = reg.GaugeVec("autodetect_resilience_retry_budget_balance",
+			"Retry-budget token balance, by client.", "client").With(cfg.Name)
+		b.balanceGauge.Set(b.balance)
+		b.exhausted = reg.CounterVec("autodetect_resilience_retry_budget_exhausted_total",
+			"Retries abandoned because the budget ran dry, by client.", "client").With(cfg.Name)
+		b.withdrawals = reg.CounterVec("autodetect_resilience_retry_budget_withdrawals_total",
+			"Retry tokens spent, by client.", "client").With(cfg.Name)
+	}
+	return b
+}
+
+// Withdraw spends one retry token; false means the budget is exhausted and
+// the retry must not happen.
+func (b *RetryBudget) Withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// The epsilon forgives accumulated float error: ten 0.1-deposits sum
+	// to 0.9999999999999999 and must still fund one retry.
+	if b.balance < 1-1e-9 {
+		if b.exhausted != nil {
+			b.exhausted.Inc()
+		}
+		return false
+	}
+	b.balance--
+	if b.withdrawals != nil {
+		b.withdrawals.Inc()
+	}
+	if b.balanceGauge != nil {
+		b.balanceGauge.Set(b.balance)
+	}
+	return true
+}
+
+// Deposit credits Ratio of a token, saturating at Burst.
+func (b *RetryBudget) Deposit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.balance += b.cfg.Ratio
+	if b.balance > b.cfg.Burst {
+		b.balance = b.cfg.Burst
+	}
+	if b.balanceGauge != nil {
+		b.balanceGauge.Set(b.balance)
+	}
+}
+
+// Balance returns the current token balance.
+func (b *RetryBudget) Balance() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.balance
+}

@@ -1,0 +1,122 @@
+package resilience
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestAttachParseDeadlineRoundTrip(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	h := make(http.Header)
+	fwd, ok := AttachDeadline(ctx, h, 100*time.Millisecond)
+	if !ok {
+		t.Fatal("AttachDeadline found no deadline")
+	}
+	if fwd <= 0 || fwd > 400*time.Millisecond {
+		t.Fatalf("forwarded budget = %v, want (0, 400ms]", fwd)
+	}
+	got, ok := ParseDeadline(h)
+	if !ok {
+		t.Fatal("ParseDeadline missed the stamped header")
+	}
+	if diff := got - fwd; diff > time.Millisecond || diff < -time.Millisecond {
+		t.Fatalf("parsed %v, stamped %v", got, fwd)
+	}
+}
+
+func TestAttachDeadlineNoDeadline(t *testing.T) {
+	h := make(http.Header)
+	if _, ok := AttachDeadline(context.Background(), h, 0); ok {
+		t.Fatal("no-deadline context must stamp nothing")
+	}
+	if h.Get(HeaderDeadline) != "" {
+		t.Fatal("header stamped without a deadline")
+	}
+}
+
+func TestAttachDeadlineExpiredStampsZero(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	h := make(http.Header)
+	fwd, ok := AttachDeadline(ctx, h, 50*time.Millisecond)
+	if !ok || fwd != 0 {
+		t.Fatalf("expired context: fwd=%v ok=%v, want 0 true", fwd, ok)
+	}
+	if h.Get(HeaderDeadline) != "0" {
+		t.Fatalf("header = %q, want \"0\"", h.Get(HeaderDeadline))
+	}
+}
+
+func TestParseDeadlineMalformed(t *testing.T) {
+	for _, v := range []string{"abc", "-5", "1.5", ""} {
+		h := make(http.Header)
+		if v != "" {
+			h.Set(HeaderDeadline, v)
+		}
+		if _, ok := ParseDeadline(h); ok {
+			t.Errorf("ParseDeadline(%q) accepted, want rejected", v)
+		}
+	}
+}
+
+func TestDeadlineBudgetFastFail(t *testing.T) {
+	var served bool
+	h := DeadlineBudget(time.Second, func(*http.Request) time.Duration { return 100 * time.Millisecond }, nil)(
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			served = true
+			w.WriteHeader(http.StatusOK)
+		}))
+
+	// Budget below the floor: 504 before any work.
+	req := httptest.NewRequest(http.MethodGet, "/v1/check-column", nil)
+	req.Header.Set(HeaderDeadline, "50")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", rec.Code)
+	}
+	if served {
+		t.Fatal("handler ran despite a doomed budget")
+	}
+
+	// Budget above the floor: served, and the handler's context deadline
+	// reflects the inbound budget, not the server default.
+	var remaining time.Duration
+	h = DeadlineBudget(time.Minute, nil, nil)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if dl, ok := r.Context().Deadline(); ok {
+			remaining = time.Until(dl)
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	req = httptest.NewRequest(http.MethodGet, "/v1/check-column", nil)
+	req.Header.Set(HeaderDeadline, strconv.Itoa(200))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if remaining <= 0 || remaining > 200*time.Millisecond {
+		t.Fatalf("handler deadline remaining = %v, want (0, 200ms] (inherited from header)", remaining)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d, ok := ParseRetryAfter("7"); !ok || d != 7*time.Second {
+		t.Fatalf("ParseRetryAfter(7) = %v %v", d, ok)
+	}
+	future := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if d, ok := ParseRetryAfter(future); !ok || d <= 0 || d > 30*time.Second {
+		t.Fatalf("ParseRetryAfter(date) = %v %v", d, ok)
+	}
+	for _, v := range []string{"", "-3", "soon", time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)} {
+		if _, ok := ParseRetryAfter(v); ok {
+			t.Errorf("ParseRetryAfter(%q) accepted, want rejected", v)
+		}
+	}
+}

@@ -218,49 +218,58 @@ func Timeout(d time.Duration) Middleware {
 			return next
 		}
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			ctx, cancel := context.WithTimeout(r.Context(), d)
-			defer cancel()
-			// A handler blocked reading a slow-loris body holds the
-			// server's request-body mutex, which the server needs before it
-			// can flush our 504 — the timeout response would stall until
-			// the client finished sending. Bounding the connection read
-			// makes that blocked read fail shortly after the deadline
-			// instead. The slack past d guarantees the deadline branch
-			// below has already abandoned the handler's buffer, so the
-			// client always sees the 504, not the handler's reaction to
-			// its dying body read. Best-effort: not every ResponseWriter
-			// supports read deadlines.
-			_ = http.NewResponseController(w).SetReadDeadline(time.Now().Add(d + readDeadlineSlack))
-			tw := &deadlineWriter{header: make(http.Header)}
-			done := make(chan struct{})
-			panicked := make(chan any, 1)
-			go func() {
-				defer func() {
-					if p := recover(); p != nil {
-						panicked <- p
-						return
-					}
-					close(done)
-				}()
-				next.ServeHTTP(tw, r.WithContext(ctx))
-			}()
-			select {
-			case <-done:
-				tw.flushTo(w)
-			case p := <-panicked:
-				panic(p)
-			case <-ctx.Done():
-				// Once the deadline fires the 504 is authoritative, even if
-				// the handler reacted to the cancellation and finished a
-				// response in the same instant — preferring a completed
-				// buffer here would make the status a coin flip between the
-				// 504 and whatever a ctx-aware handler writes on its way
-				// out.
-				tw.abandon()
-				writeError(w, r, http.StatusGatewayTimeout,
-					fmt.Sprintf("request exceeded %s deadline", d))
-			}
+			serveWithDeadline(w, r, d, next)
 		})
+	}
+}
+
+// serveWithDeadline runs next under a per-request deadline d: the handler
+// gets a context with the deadline, and if it has not finished when the
+// deadline fires the client receives 504 while the handler's late writes
+// are discarded. Shared by Timeout (fixed d) and DeadlineBudget (d derived
+// from the inbound deadline header).
+func serveWithDeadline(w http.ResponseWriter, r *http.Request, d time.Duration, next http.Handler) {
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	// A handler blocked reading a slow-loris body holds the
+	// server's request-body mutex, which the server needs before it
+	// can flush our 504 — the timeout response would stall until
+	// the client finished sending. Bounding the connection read
+	// makes that blocked read fail shortly after the deadline
+	// instead. The slack past d guarantees the deadline branch
+	// below has already abandoned the handler's buffer, so the
+	// client always sees the 504, not the handler's reaction to
+	// its dying body read. Best-effort: not every ResponseWriter
+	// supports read deadlines.
+	_ = http.NewResponseController(w).SetReadDeadline(time.Now().Add(d + readDeadlineSlack))
+	tw := &deadlineWriter{header: make(http.Header)}
+	done := make(chan struct{})
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				panicked <- p
+				return
+			}
+			close(done)
+		}()
+		next.ServeHTTP(tw, r.WithContext(ctx))
+	}()
+	select {
+	case <-done:
+		tw.flushTo(w)
+	case p := <-panicked:
+		panic(p)
+	case <-ctx.Done():
+		// Once the deadline fires the 504 is authoritative, even if
+		// the handler reacted to the cancellation and finished a
+		// response in the same instant — preferring a completed
+		// buffer here would make the status a coin flip between the
+		// 504 and whatever a ctx-aware handler writes on its way
+		// out.
+		tw.abandon()
+		writeError(w, r, http.StatusGatewayTimeout,
+			fmt.Sprintf("request exceeded %s deadline", d))
 	}
 }
 

@@ -21,6 +21,24 @@ import (
 	"time"
 )
 
+// Budget bounds retry volume across every call sharing it — the
+// fleet-level defence against retry amplification. Withdraw is consulted
+// before each scheduled retry (never the first attempt) and returns false
+// when the budget is exhausted; Deposit credits the budget after each
+// successful attempt. internal/resilience provides the token-bucket
+// implementation; the interface lives here so Policy stays dependency-free.
+type Budget interface {
+	// Withdraw spends one retry token, reporting false when none remain.
+	Withdraw() bool
+	// Deposit credits a (fractional) token on success.
+	Deposit()
+}
+
+// ErrBudgetExhausted marks retries abandoned because the shared Budget ran
+// dry. It wraps the operation's last error, so callers can still see what
+// kept failing.
+var ErrBudgetExhausted = errors.New("retry: budget exhausted")
+
 // Policy configures Do. The zero value is usable: DefaultAttempts attempts,
 // DefaultBaseDelay base backoff, DefaultMaxDelay cap, IsTransient
 // classification, real sleeping.
@@ -52,6 +70,12 @@ type Policy struct {
 	// OnRetry, when set, observes each scheduled retry (attempt is the
 	// 1-based attempt that just failed).
 	OnRetry func(attempt int, err error, backoff time.Duration)
+	// Budget, when set, gates every scheduled retry on a shared token
+	// bucket: a retry that cannot Withdraw a token ends the call with
+	// ErrBudgetExhausted wrapping the last error, and each success
+	// Deposits back into the bucket. The first attempt is never charged —
+	// budgets bound amplification, not offered load.
+	Budget Budget
 }
 
 // Defaults for the zero Policy.
@@ -104,6 +128,9 @@ func (p Policy) DoCtx(ctx context.Context, op func(ctx context.Context) error) e
 		}
 		err = p.attempt(ctx, op)
 		if err == nil {
+			if p.Budget != nil {
+				p.Budget.Deposit()
+			}
 			return nil
 		}
 		if !classify(err) && !(p.AttemptTimeout > 0 && isAttemptTimeout(ctx, err)) {
@@ -112,7 +139,15 @@ func (p Policy) DoCtx(ctx context.Context, op func(ctx context.Context) error) e
 		if attempt >= attempts {
 			return fmt.Errorf("retry: %d attempts exhausted: %w", attempts, err)
 		}
+		if p.Budget != nil && !p.Budget.Withdraw() {
+			return fmt.Errorf("%w after attempt %d: %w", ErrBudgetExhausted, attempt, err)
+		}
 		d := backoff(base, maxd, attempt, p.Seed)
+		if f, ok := BackoffFloor(err); ok && f > d {
+			// A server-directed pacing hint (Retry-After) outranks our own
+			// schedule: the floor is the earliest the server wants us back.
+			d = f
+		}
 		if p.OnRetry != nil {
 			p.OnRetry(attempt, err, d)
 		}
@@ -214,6 +249,45 @@ func Permanent(err error) error {
 		return nil
 	}
 	return &permanentMarker{err}
+}
+
+// afterMarker attaches a server-directed backoff floor to an error — the
+// parsed Retry-After of a 503/429 response. DoCtx never sleeps less than
+// the floor before the next attempt.
+type afterMarker struct {
+	err   error
+	floor time.Duration
+}
+
+func (a *afterMarker) Error() string { return a.err.Error() }
+func (a *afterMarker) Unwrap() error { return a.err }
+
+// After attaches a backoff floor to err (typically alongside Transient):
+// the retry before the next attempt waits at least floor, no matter what
+// the exponential schedule says. A nil err stays nil; a non-positive floor
+// attaches nothing.
+func After(err error, floor time.Duration) error {
+	if err == nil || floor <= 0 {
+		return err
+	}
+	return &afterMarker{err: err, floor: floor}
+}
+
+// BackoffFloor reports the largest backoff floor attached anywhere in
+// err's chain, or false when none is.
+func BackoffFloor(err error) (time.Duration, bool) {
+	var floor time.Duration
+	found := false
+	for err != nil {
+		if am, ok := err.(*afterMarker); ok {
+			if am.floor > floor {
+				floor = am.floor
+			}
+			found = true
+		}
+		err = errors.Unwrap(err)
+	}
+	return floor, found
 }
 
 // retryableErrnos are the syscall errors worth a second chance: interrupted

@@ -285,3 +285,97 @@ func TestNetworkErrnosAreTransient(t *testing.T) {
 		}
 	}
 }
+
+func TestAfterBackoffFloor(t *testing.T) {
+	base := errors.New("overloaded")
+	if _, ok := BackoffFloor(base); ok {
+		t.Fatal("unmarked error must carry no floor")
+	}
+	err := After(Transient(base), 2*time.Second)
+	floor, ok := BackoffFloor(err)
+	if !ok || floor != 2*time.Second {
+		t.Fatalf("BackoffFloor = %v %v, want 2s true", floor, ok)
+	}
+	if !IsTransient(err) {
+		t.Fatal("After must preserve the transient classification")
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("After must preserve errors.Is against the base error")
+	}
+	// Nested floors: the strictest (largest) wins.
+	nested := After(fmt.Errorf("wrap: %w", After(base, 3*time.Second)), time.Second)
+	if floor, ok := BackoffFloor(nested); !ok || floor != 3*time.Second {
+		t.Fatalf("nested BackoffFloor = %v %v, want 3s true", floor, ok)
+	}
+	// Passthroughs.
+	if After(nil, time.Second) != nil {
+		t.Fatal("After(nil) must stay nil")
+	}
+	if After(base, 0) != base {
+		t.Fatal("After with a non-positive floor must return the error unchanged")
+	}
+}
+
+func TestDoCtxHonorsBackoffFloor(t *testing.T) {
+	p := Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	start := time.Now()
+	err := p.DoCtx(context.Background(), func(context.Context) error {
+		return After(Transient(errors.New("503")), 50*time.Millisecond)
+	})
+	if err == nil {
+		t.Fatal("op always fails")
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("retried after %v, want >= the 50ms Retry-After floor", elapsed)
+	}
+}
+
+// stubBudget counts withdrawals and deposits, denying after a cap.
+type stubBudget struct {
+	cap       int
+	withdraws int
+	deposits  int
+}
+
+func (s *stubBudget) Withdraw() bool {
+	if s.withdraws >= s.cap {
+		return false
+	}
+	s.withdraws++
+	return true
+}
+
+func (s *stubBudget) Deposit() { s.deposits++ }
+
+func TestDoCtxBudgetStopsRetries(t *testing.T) {
+	b := &stubBudget{cap: 1}
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Budget: b}
+	calls := 0
+	err := p.DoCtx(context.Background(), func(context.Context) error {
+		calls++
+		return Transient(errors.New("down"))
+	})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("DoCtx = %v, want ErrBudgetExhausted", err)
+	}
+	if calls != 2 {
+		t.Fatalf("op ran %d times, want 2 (first attempt free, one funded retry)", calls)
+	}
+	if b.withdraws != 1 {
+		t.Fatalf("withdraws = %d, want 1", b.withdraws)
+	}
+}
+
+func TestDoCtxBudgetDepositsOnSuccess(t *testing.T) {
+	b := &stubBudget{cap: 100}
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Budget: b}
+	if err := p.DoCtx(context.Background(), func(context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if b.deposits != 1 {
+		t.Fatalf("deposits = %d, want 1", b.deposits)
+	}
+	if b.withdraws != 0 {
+		t.Fatalf("withdraws = %d, want 0 (no retry happened)", b.withdraws)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"log/slog"
 	"mime"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -92,11 +93,31 @@ type Server struct {
 	// MaxBodyBytes caps request bodies (default 8 MiB; <= 0 disables).
 	MaxBodyBytes int64
 	// MaxInFlight bounds concurrent requests; excess requests receive
-	// 429 with Retry-After (default 256; <= 0 disables).
+	// 429 with Retry-After (default 256; <= 0 disables). It is the upper
+	// bound of the tiered AIMD admission controller: under overload the
+	// effective limit adapts downward toward LatencyTarget, shedding
+	// background traffic (jobs) before interactive (check-*), and never
+	// shedding admin calls.
 	MaxInFlight int
+	// LatencyTarget is the latency the admission controller adapts its
+	// concurrency limit toward (default 250ms).
+	LatencyTarget time.Duration
 	// RequestTimeout bounds each request's wall-clock time (default 30s;
-	// <= 0 disables).
+	// <= 0 disables). An inbound X-Deadline-Ms budget below it tightens
+	// the bound further (deadline propagation).
 	RequestTimeout time.Duration
+	// DeadlineFloor, when > 0, fast-fails interactive check requests with
+	// 504 when their propagated deadline budget is already below it —
+	// doomed work is rejected before it starts (default 0: disabled).
+	DeadlineFloor time.Duration
+	// MaxModelStaleness, when > 0, makes /v1/readyz report
+	// "degraded" (still 200 — the replica serves, staleness is a warning,
+	// not an outage) once the served model's age exceeds it.
+	MaxModelStaleness time.Duration
+	// DegradedCheck, when set, contributes extra degradation reasons to
+	// /v1/readyz (e.g. "registry_breaker_open" from the daemon's puller
+	// breaker). Empty means healthy.
+	DegradedCheck func() []string
 	// Reload, when set, is invoked by POST /v1/admin/reload (and by the
 	// daemon's SIGHUP handler) to produce a replacement model plus its
 	// provenance. A nil hook makes the endpoint answer 501.
@@ -128,6 +149,10 @@ type Server struct {
 	// Jobs, when set, mounts the asynchronous batch-audit API under
 	// /v1/jobs. Configure it before the first Handler call.
 	Jobs *jobs.Manager
+
+	// adm is the tiered admission controller built by Handler; tests reach
+	// it to observe the adaptive limit.
+	adm *resilience.Admission
 }
 
 // New returns a server; sem may be nil to disable value-level checks, and
@@ -269,9 +294,21 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("/v1/jobs/{id}", s.handleJob)
 	api.HandleFunc("/v1/jobs/{id}/results", s.handleJobResults)
 
+	// The flat inflight semaphore is replaced by the tiered AIMD admission
+	// controller: one adaptive limit, three priorities, background shed
+	// first. Deadline propagation replaces the fixed per-request timeout:
+	// an inbound X-Deadline-Ms budget tightens the default, and interactive
+	// requests already out of budget are 504ed before any work.
+	s.adm = resilience.NewAdmission(resilience.AdmissionConfig{
+		MaxConcurrency: s.MaxInFlight,
+		Target:         s.LatencyTarget,
+		RetryAfter:     resilience.DefaultRetryAfter,
+		Tier:           serviceTier,
+		Metrics:        obs.reg,
+	})
 	hardened := resilience.Chain(
-		resilience.Limit(s.MaxInFlight, resilience.DefaultRetryAfter),
-		resilience.Timeout(s.RequestTimeout),
+		s.adm.Middleware(),
+		resilience.DeadlineBudget(s.RequestTimeout, s.deadlineFloor, obs.reg),
 		resilience.MaxBytes(s.MaxBodyBytes),
 	)(api)
 
@@ -382,12 +419,71 @@ func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
 }
 
+// serviceTier classifies API requests for the admission controller. The
+// probes and /metrics never reach it (mounted outside the hardened chain);
+// within the chain only the admin surface is critical — an operator
+// diagnosing or reloading an overloaded replica must get through.
+func serviceTier(r *http.Request) resilience.Tier {
+	p := r.URL.Path
+	switch {
+	case strings.HasPrefix(p, "/v1/admin/"):
+		return resilience.TierCritical
+	case strings.HasPrefix(p, "/v1/jobs"):
+		return resilience.TierBackground
+	default:
+		return resilience.TierInteractive
+	}
+}
+
+// deadlineFloor is the per-route deadline floor for the DeadlineBudget
+// middleware: interactive check requests below DeadlineFloor of remaining
+// budget are doomed (the caller will give up before the answer lands) and
+// fast-fail instead of occupying a scoring slot.
+func (s *Server) deadlineFloor(r *http.Request) time.Duration {
+	if strings.HasPrefix(r.URL.Path, "/v1/check-") {
+		return s.DeadlineFloor
+	}
+	return 0
+}
+
+// readyzResponse is the body of /v1/readyz.
+type readyzResponse struct {
+	Status   string   `json:"status"`
+	Degraded []string `json:"degraded,omitempty"`
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if s.snapshot() == nil {
+	m := s.snapshot()
+	if m == nil {
 		writeErr(w, r, http.StatusServiceUnavailable, "no model loaded")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	// Degraded-but-serving is still ready: a stale model or an open
+	// registry breaker means convergence is impaired, not that this
+	// replica should be pulled from rotation — yanking every replica the
+	// moment the registry dies would turn a control-plane outage into a
+	// data-plane one.
+	var reasons []string
+	if s.MaxModelStaleness > 0 && s.modelAge(m) > s.MaxModelStaleness {
+		reasons = append(reasons, "model_stale")
+	}
+	if s.DegradedCheck != nil {
+		reasons = append(reasons, s.DegradedCheck()...)
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusOK, readyzResponse{Status: "degraded", Degraded: reasons})
+		return
+	}
+	writeJSON(w, http.StatusOK, readyzResponse{Status: "ready"})
+}
+
+// modelAge mirrors the autodetect_model_age_seconds gauge: time since
+// publish when known, since load otherwise.
+func (s *Server) modelAge(m *model) time.Duration {
+	if m.info.PublishedUnixMs > 0 {
+		return time.Since(time.UnixMilli(m.info.PublishedUnixMs))
+	}
+	return time.Since(m.loaded)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
