@@ -35,6 +35,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dbsource"
 	"repro/internal/distsup"
 	"repro/internal/eval"
 	"repro/internal/observe"
@@ -80,7 +81,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  autodetect train  -out model.bin [-profile web|spreadsheet] [-columns N] [-corpus file.csv] [-dir tables/] [-workers N] [-checkpoint dir/] [-checkpoint-every N] [-sample N] [-pairs N] [-budget MB] [-precision P] [-seed N] [-max-bad-files N] [-max-bad-frac F] [-quarantine-dir dir/] [-io-retries N]
+  autodetect train  -out model.bin [-profile web|spreadsheet] [-columns N] [-corpus file.csv] [-dir tables/] [-dsn DSN -driver name] [-workers N] [-checkpoint dir/] [-checkpoint-every N] [-sample N] [-pairs N] [-budget MB] [-precision P] [-seed N] [-max-bad-files N] [-max-bad-frac F] [-quarantine-dir dir/] [-io-retries N]
   autodetect detect -model model.bin -in data.csv [-header] [-min-confidence P]
   autodetect pair   -model model.bin VALUE1 VALUE2
   autodetect baselines -in data.csv [-header]
@@ -95,6 +96,8 @@ func cmdTrain(args []string) error {
 	columns := fs.Int("columns", 20000, "synthetic corpus size")
 	corpusPath := fs.String("corpus", "", "train on the columns of this CSV instead of a synthetic corpus")
 	dir := fs.String("dir", "", "train on every .csv/.tsv under this directory, streamed one table at a time")
+	dsn := fs.String("dsn", "", "train on every table.column of this SQL database, streamed in keyset pages")
+	dbDriver := fs.String("driver", dbsource.DriverName, "database/sql driver for -dsn (sqlite3, postgres, mysql, or the in-tree in-memory driver)")
 	header := fs.Bool("header", true, "table files start with a header row (-corpus/-dir)")
 	workers := fs.Int("workers", runtime.NumCPU(), "counting/calibration parallelism")
 	checkpoint := fs.String("checkpoint", "", "checkpoint directory: periodic shard saves, resume on restart")
@@ -112,8 +115,14 @@ func cmdTrain(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *dir != "" && *corpusPath != "" {
-		return fmt.Errorf("-dir and -corpus are mutually exclusive")
+	sources := 0
+	for _, set := range []bool{*dir != "", *corpusPath != "", *dsn != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return fmt.Errorf("-dir, -corpus and -dsn are mutually exclusive")
 	}
 	// retry.Policy treats MaxAttempts<=0 as "use the default", so 0 would
 	// silently mean 3 attempts; reject it rather than surprise the operator.
@@ -137,6 +146,19 @@ func cmdTrain(args []string) error {
 		logger.Info("streaming table files", "files", ds.Files(), "dir", *dir,
 			"max_bad_files", *maxBadFiles, "max_bad_frac", *maxBadFrac, "io_retries", *ioRetries)
 		src = ds
+	case *dsn != "":
+		db, err := dbsource.NewSource(context.Background(), dbsource.Config{
+			Driver: *dbDriver,
+			DSN:    *dsn,
+			Retry:  retry.Policy{MaxAttempts: *ioRetries},
+		})
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		logger.Info("streaming database columns", "driver", *dbDriver,
+			"columns", db.Len(), "schema_hash", db.SchemaHash(), "io_retries", *ioRetries)
+		src = db
 	case *corpusPath != "":
 		f, err := os.Open(*corpusPath)
 		if err != nil {

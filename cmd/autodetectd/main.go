@@ -8,6 +8,7 @@
 //	autodetectd -model model.bin -addr :8080
 //	autodetectd -train-dir tables/ -addr :8080       # train on a CSV/TSV directory first
 //	autodetectd -train -columns 10000 -addr :8080    # train on a synthetic corpus first
+//	autodetectd -train-dsn "$DSN" -train-driver sqlite3 -addr :8080  # train straight from a database
 //
 // Endpoints:
 //
@@ -82,6 +83,7 @@ import (
 	"repro/internal/atomicio"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dbsource"
 	"repro/internal/distbuild"
 	"repro/internal/distsup"
 	"repro/internal/jobs"
@@ -122,6 +124,9 @@ func main() {
 	modelPath := flag.String("model", "", "trained model path (see cmd/autodetect train)")
 	train := flag.Bool("train", false, "train an in-process model on a synthetic corpus instead")
 	trainDir := flag.String("train-dir", "", "train at startup on the .csv/.tsv tables under this directory (streamed); SIGHUP or /v1/admin/reload retrains and hot-swaps")
+	trainDSN := flag.String("train-dsn", "", "train at startup on every table.column of this SQL database (streamed in keyset pages); SIGHUP or /v1/admin/reload retrains and hot-swaps")
+	trainDriver := flag.String("train-driver", dbsource.DriverName, "database/sql driver for -train-dsn (sqlite3, postgres, mysql, or the in-tree in-memory driver)")
+	dbAudit := flag.Bool("db-audit", false, "accept whole-database audit submissions on POST /v1/jobs (the server dials the submitted DSN; requires -jobs-dir)")
 	columns := flag.Int("columns", 10000, "synthetic corpus size when -train is set")
 	pairs := flag.Int("pairs", 10000, "distant-supervision pairs per class when training in-process")
 	workers := flag.Int("workers", runtime.NumCPU(), "pipeline parallelism for in-process training")
@@ -314,6 +319,38 @@ func main() {
 		return res.Detector, nil
 	}
 
+	// buildFromDSN streams every table.column of the database through the
+	// same sharded pipeline; like buildFromDir it is re-invoked on SIGHUP /
+	// admin reload, re-introspecting so the model tracks the live schema.
+	buildFromDSN := func() (*core.Detector, error) {
+		src, err := dbsource.NewSource(context.Background(), dbsource.Config{
+			Driver:  *trainDriver,
+			DSN:     *trainDSN,
+			Retry:   retry.Policy{MaxAttempts: *ioRetries},
+			Metrics: reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer src.Close()
+		logger.Info("pipeline build starting", "driver", *trainDriver,
+			"db_columns", src.Len(), "schema_hash", src.SchemaHash(), "workers", *workers)
+		res, err := pipeline.Run(context.Background(), src, pipeline.Options{
+			Workers:       *workers,
+			Train:         trainConfig(),
+			SampleColumns: *sample,
+			Metrics:       reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		logger.Info("pipeline build done",
+			"columns", res.Columns, "values", res.Values,
+			"elapsed", res.Elapsed.Round(time.Millisecond).String(),
+			"languages", len(res.Report.Selected))
+		return res.Detector, nil
+	}
+
 	var det *core.Detector
 	var sem *semantic.Model
 	var initInfo service.ModelInfo
@@ -336,6 +373,13 @@ func main() {
 			fatal("pipeline build failed", "train_dir", *trainDir, "error", err)
 		}
 		initInfo = service.ModelInfo{Source: "train-dir"}
+	case *trainDSN != "":
+		var err error
+		det, err = buildFromDSN()
+		if err != nil {
+			fatal("pipeline build failed", "train_driver", *trainDriver, "error", err)
+		}
+		initInfo = service.ModelInfo{Source: "train-dsn"}
 	case *train:
 		logger.Info("training on synthetic corpus", "columns", *columns, "workers", *workers)
 		c := corpus.Generate(corpus.WebProfile(), *columns, *seed)
@@ -361,7 +405,7 @@ func main() {
 		logger.Info("no local model; waiting for the registry's pinned version",
 			"registry", *registryURL, "poll", registryPoll.String())
 	default:
-		fmt.Fprintln(os.Stderr, "autodetectd: need -model, -train-dir, -train or -registry-url")
+		fmt.Fprintln(os.Stderr, "autodetectd: need -model, -train-dir, -train-dsn, -train or -registry-url")
 		os.Exit(2)
 	}
 
@@ -398,7 +442,8 @@ func main() {
 			fatal("batch job manager failed to open", "jobs_dir", *jobsDir, "error", err)
 		}
 		svc.Jobs = jobMgr
-		logger.Info("batch jobs enabled", "jobs_dir", *jobsDir,
+		svc.AllowDBAudit = *dbAudit
+		logger.Info("batch jobs enabled", "jobs_dir", *jobsDir, "db_audit", *dbAudit,
 			"job_workers", *jobWorkers, "max_queued_jobs", *maxQueuedJobs,
 			"job_timeout", jobTimeout.String(), "recovered", jobMgr.Recovered())
 	}
@@ -474,6 +519,12 @@ func main() {
 		svc.Reload = func() (*core.Detector, *semantic.Model, service.ModelInfo, error) {
 			d, err := buildFromDir()
 			return d, sem, service.ModelInfo{Source: "train-dir"}, err
+		}
+	case *trainDSN != "":
+		// Hot reload re-introspects and retrains over the live database.
+		svc.Reload = func() (*core.Detector, *semantic.Model, service.ModelInfo, error) {
+			d, err := buildFromDSN()
+			return d, sem, service.ModelInfo{Source: "train-dsn"}, err
 		}
 	}
 

@@ -31,12 +31,18 @@ type Finding struct {
 	Index      int     `json:"index"`
 	Partner    string  `json:"partner"`
 	Confidence float64 `json:"confidence"`
-	// Kind is "pattern" or "semantic".
+	// Kind is "pattern", "semantic", or "domain" (a schema-hinted
+	// semantic-domain format check).
 	Kind string `json:"kind"`
 	// Suggestion, when non-empty, proposes a repaired value rendered in
 	// the column's dominant format; SuggestionRule names the repair.
 	Suggestion     string `json:"suggestion,omitempty"`
 	SuggestionRule string `json:"suggestion_rule,omitempty"`
+	// Source and Table carry the column's provenance (database driver and
+	// table for dbsource columns) so batch results say where a bad cell
+	// lives, not just its column name. Empty for sources without one.
+	Source string `json:"source,omitempty"`
+	Table  string `json:"table,omitempty"`
 }
 
 // CheckColumn runs the pattern detector and (when sem is non-nil) the
@@ -48,6 +54,17 @@ type Finding struct {
 // same model and column serialize to identical bytes — the property the
 // batch-job resume tests assert.
 func CheckColumn(ctx context.Context, det *core.Detector, sem *semantic.Model, values []string, minConf float64) []Finding {
+	return CheckColumnHinted(ctx, det, sem, values, minConf, "")
+}
+
+// CheckColumnHinted is CheckColumn plus an optional semantic-domain hint.
+// A non-empty hint — typically derived from database schema metadata, a
+// column named email or a DATE-typed column — runs semantic.CheckDomain
+// after the pattern and co-occurrence passes and appends its findings
+// with Kind "domain". The hint extends the finding set; it never changes
+// the unhinted findings, so CheckColumn remains a strict prefix and the
+// determinism contract above carries over hint included.
+func CheckColumnHinted(ctx context.Context, det *core.Detector, sem *semantic.Model, values []string, minConf float64, hint string) []Finding {
 	if minConf <= 0 {
 		minConf = DefaultMinConfidence
 	}
@@ -80,6 +97,19 @@ func CheckColumn(ctx context.Context, det *core.Detector, sem *semantic.Model, v
 			})
 		}
 		endSem()
+	}
+	if hint != "" {
+		_, endDomain := observe.Span(ctx, "detect_domain")
+		for _, f := range semantic.CheckDomain(hint, values) {
+			if f.Confidence < minConf {
+				continue
+			}
+			out = append(out, Finding{
+				Value: f.Value, Index: f.Index, Partner: f.Partner,
+				Confidence: f.Confidence, Kind: "domain",
+			})
+		}
+		endDomain()
 	}
 	return out
 }

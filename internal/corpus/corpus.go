@@ -35,6 +35,13 @@ type Column struct {
 	// column carries no ground-truth labels; an empty non-nil slice means
 	// the column is known clean.
 	Dirty []int
+	// Source identifies where the column came from — a database driver
+	// name, "csv", "gen" — and Table the container within that source.
+	// Both are optional provenance that audit findings carry through to
+	// results, so a bad cell reports which table it lives in, not just
+	// the column name.
+	Source string
+	Table  string
 }
 
 // IsDirty reports whether row i is a labeled error.

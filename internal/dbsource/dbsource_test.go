@@ -1,0 +1,389 @@
+package dbsource
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/observe"
+	"repro/internal/retry"
+)
+
+// seedDB builds the multi-table database the tests share: a users table
+// with a hinted email column (one bad email planted), and an orders table
+// with numeric and NULL-bearing columns.
+func seedDB() *MemDB {
+	db := NewMemDB()
+	db.AddTable("users",
+		MemCol{Name: "email", Type: "TEXT", Values: []any{
+			"ann@example.com", "bob@example.com", "carol@example.com",
+			"dave@example.com", "eve@example.com", "not-an-email",
+			"frank@example.com", "grace@example.com", "heidi@example.com", "ivan@example.com",
+		}},
+		MemCol{Name: "name", Type: "TEXT", Values: []any{
+			"Ann", "Bob", "Carol", "Dave", "Eve", "Mallory", "Frank", "Grace", "Heidi", "Ivan",
+		}},
+	)
+	db.AddTable("orders",
+		MemCol{Name: "amount", Type: "REAL", Values: []any{
+			int64(12), 3.5, nil, int64(99), 7.25,
+		}},
+		MemCol{Name: "note", Type: "TEXT", Values: []any{
+			"first", nil, "third", "fourth", nil,
+		}},
+	)
+	return db
+}
+
+func TestDialectFor(t *testing.T) {
+	for driver, want := range map[string]string{
+		DriverName: "mem", "mem": "mem",
+		"sqlite": "sqlite", "sqlite3": "sqlite",
+		"postgres": "postgres", "pgx": "postgres", "pq": "postgres",
+		"mysql": "mysql",
+	} {
+		d, err := DialectFor(driver)
+		if err != nil {
+			t.Fatalf("DialectFor(%q): %v", driver, err)
+		}
+		if d.Name() != want {
+			t.Errorf("DialectFor(%q).Name() = %q, want %q", driver, d.Name(), want)
+		}
+	}
+	if _, err := DialectFor("oracle"); err == nil {
+		t.Error("DialectFor(oracle) should fail")
+	}
+}
+
+func TestDialectQueryShapes(t *testing.T) {
+	sq, _ := DialectFor("sqlite3")
+	if got := sq.PageQuery(`us"ers`, "email"); !strings.Contains(got, `"us""ers"`) {
+		t.Errorf("sqlite quoting broken: %s", got)
+	}
+	my, _ := DialectFor("mysql")
+	if got := my.CountQuery("or`ders"); !strings.Contains(got, "`or``ders`") {
+		t.Errorf("mysql quoting broken: %s", got)
+	}
+	pg, _ := DialectFor("postgres")
+	if got := pg.ColumnsQuery(); !strings.Contains(got, "$1") {
+		t.Errorf("postgres columns query should use $1 placeholders: %s", got)
+	}
+	if pg.StartKey() != "(0,0)" {
+		t.Errorf("postgres StartKey = %v", pg.StartKey())
+	}
+}
+
+func TestIntrospect(t *testing.T) {
+	Register("introspect", seedDB())
+	src, err := NewSource(context.Background(), Config{DSN: "mem://introspect"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	sch := src.Schema()
+	if len(sch.Tables) != 2 || sch.Tables[0].Name != "orders" || sch.Tables[1].Name != "users" {
+		t.Fatalf("tables = %+v", sch.Tables)
+	}
+	if sch.Tables[1].Rows != 10 {
+		t.Errorf("users rows = %d, want 10", sch.Tables[1].Rows)
+	}
+	units := src.Schema().Units()
+	var names []string
+	for _, u := range units {
+		names = append(names, u.Name())
+	}
+	want := []string{"orders.amount", "orders.note", "users.email", "users.name"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Errorf("unit order = %v, want %v", names, want)
+	}
+	// The email column carries a name-derived hint; the others don't.
+	for _, u := range units {
+		wantHint := ""
+		if u.Name() == "users.email" {
+			wantHint = "email"
+		}
+		if u.Hint != wantHint {
+			t.Errorf("%s hint = %q, want %q", u.Name(), u.Hint, wantHint)
+		}
+	}
+}
+
+func TestIntrospectTableFilter(t *testing.T) {
+	Register("filter", seedDB())
+	src, err := NewSource(context.Background(), Config{DSN: "mem://filter", Tables: []string{"orders"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if src.Len() != 2 {
+		t.Fatalf("filtered Len = %d, want 2", src.Len())
+	}
+	if _, err := NewSource(context.Background(), Config{DSN: "mem://filter", Tables: []string{"nope"}}); err == nil {
+		t.Fatal("filter naming a missing table should fail")
+	}
+}
+
+func TestSourceStreamAndNormalize(t *testing.T) {
+	Register("stream", seedDB())
+	src, err := NewSource(context.Background(), Config{DSN: "mem://stream", PageSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	col, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Name != "orders.amount" || col.Source != DriverName || col.Table != "orders" {
+		t.Fatalf("first column = %q source=%q table=%q", col.Name, col.Source, col.Table)
+	}
+	// int64, float64 and NULL all normalize to strings; NULL is "".
+	want := []string{"12", "3.5", "", "99", "7.25"}
+	if fmt.Sprint(col.Values) != fmt.Sprint(want) {
+		t.Fatalf("amount values = %v, want %v", col.Values, want)
+	}
+	n := 1
+	for {
+		c, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Values) == 0 {
+			t.Errorf("column %s empty", c.Name)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("streamed %d columns, want 4", n)
+	}
+}
+
+// TestPaginationBoundaries exercises page sizes around the row count,
+// including one that divides it exactly (the ambiguous last-page case).
+func TestPaginationBoundaries(t *testing.T) {
+	db := NewMemDB()
+	vals := make([]any, 10)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("v%02d", i)
+	}
+	db.AddTable("t", MemCol{Name: "c", Type: "TEXT", Values: vals})
+	Register("pages", db)
+	for _, pageSize := range []int{1, 2, 3, 5, 7, 10, 11, 100} {
+		src, err := NewSource(context.Background(), Config{DSN: "mem://pages", PageSize: pageSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := src.FetchUnit(context.Background(), 0)
+		src.Close()
+		if err != nil {
+			t.Fatalf("page size %d: %v", pageSize, err)
+		}
+		if len(got) != 10 || got[0] != "v00" || got[9] != "v09" {
+			t.Fatalf("page size %d: got %v", pageSize, got)
+		}
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	Register("fp1", seedDB())
+	Register("fp2", seedDB())
+	a, err := NewSource(context.Background(), Config{DSN: "mem://fp1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewSource(context.Background(), Config{DSN: "mem://fp2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("identical databases fingerprint differently: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	if !strings.HasPrefix(a.Fingerprint(), "db:"+DriverName+":") {
+		t.Errorf("fingerprint shape: %s", a.Fingerprint())
+	}
+	// A row-count change moves the hash.
+	mut := seedDB()
+	mut.AddTable("users", MemCol{Name: "email", Type: "TEXT", Values: []any{"x@y.zz"}},
+		MemCol{Name: "name", Type: "TEXT", Values: []any{"X"}})
+	Register("fp3", mut)
+	c, err := NewSource(context.Background(), Config{DSN: "mem://fp3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Error("mutated database should fingerprint differently")
+	}
+}
+
+func TestSkipColumns(t *testing.T) {
+	Register("skip", seedDB())
+	src, err := NewSource(context.Background(), Config{DSN: "mem://skip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	n, err := src.SkipColumns(3)
+	if err != nil || n != 3 {
+		t.Fatalf("SkipColumns(3) = %d, %v", n, err)
+	}
+	col, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Name != "users.name" {
+		t.Fatalf("after skip, Next = %s, want users.name", col.Name)
+	}
+	// Over-asking skips only what remains.
+	if n, err := src.SkipColumns(10); err != nil || n != 0 {
+		t.Fatalf("SkipColumns past end = %d, %v", n, err)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("want EOF after skipping past end, got %v", err)
+	}
+}
+
+// TestRetryOnTransientFault injects a connection-reset error on the first
+// page read of one column and expects the retry policy to ride it out.
+func TestRetryOnTransientFault(t *testing.T) {
+	db := seedDB()
+	Register("fault", db)
+	var failures atomic.Int32
+	failures.Store(2)
+	db.SetQueryFault(func(query string) error {
+		if strings.HasPrefix(query, "PAGE") && failures.Add(-1) >= 0 {
+			return errors.New("read tcp 10.0.0.1:5432: connection reset by peer")
+		}
+		return nil
+	})
+	defer db.SetQueryFault(nil)
+	src, err := NewSource(context.Background(), Config{
+		DSN:   "mem://fault",
+		Retry: retry.Policy{MaxAttempts: 5, Sleep: func(context.Context, time.Duration) error { return nil }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	vals, err := src.FetchUnit(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("transient faults should be retried: %v", err)
+	}
+	if len(vals) != 5 {
+		t.Fatalf("got %d values", len(vals))
+	}
+}
+
+func TestMetricsFamilies(t *testing.T) {
+	Register("metrics", seedDB())
+	reg := observe.NewRegistry()
+	src, err := NewSource(context.Background(), Config{DSN: "mem://metrics", Metrics: reg, PageSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for {
+		if _, err := src.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, family := range []string{
+		"autodetect_db_tables_total 2",
+		"autodetect_db_columns_total 4",
+		"autodetect_db_rows_total 30",
+		"autodetect_db_pages_total",
+		"autodetect_db_page_seconds",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("metrics page missing %q", family)
+		}
+	}
+}
+
+// TestCSVDirectoryDSN loads the directory DSN form: one table per CSV,
+// \N as NULL, values kept verbatim with types inferred for metadata only.
+func TestCSVDirectoryDSN(t *testing.T) {
+	dir := t.TempDir()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(os.WriteFile(filepath.Join(dir, "people.csv"),
+		[]byte("id,zip\n007,10001\n008,\\N\n009,90210\n"), 0o644))
+	must(os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("ignored"), 0o644))
+	src, err := NewSource(context.Background(), Config{DSN: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if src.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (people.id, people.zip)", src.Len())
+	}
+	col, err := src.Next() // people.id
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "007" must stay "007": declared-type inference never rewrites values,
+	// or a DB built from CSVs would not audit byte-identically to them.
+	if fmt.Sprint(col.Values) != "[007 008 009]" {
+		t.Fatalf("id values = %v", col.Values)
+	}
+	col, err = src.Next() // people.zip
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(col.Values) != "[10001  90210]" {
+		t.Fatalf("zip values = %v (want \\N as empty)", col.Values)
+	}
+	if col.Domain != "zip" {
+		t.Errorf("zip hint = %q", col.Domain)
+	}
+}
+
+func TestNameHint(t *testing.T) {
+	cases := []struct {
+		name, typ, want string
+	}{
+		{"email", "TEXT", "email"},
+		{"user_email", "varchar(80)", "email"},
+		{"email", "INTEGER", ""}, // type veto: numeric email is a key
+		{"phone", "TEXT", "phone"},
+		{"billing_zip", "TEXT", "zip"},
+		{"zip", "INTEGER", "zip"},
+		{"homepage", "TEXT", "url"},
+		{"ip", "TEXT", "ipv4"},
+		{"guid", "uuid", "uuid"},
+		{"country", "char(2)", "country_code"},
+		{"hire_date", "TEXT", "date"},
+		{"created", "timestamp with time zone", "date"},
+		{"year", "INTEGER", "year"},
+		{"amount", "REAL", ""},
+		{"name", "TEXT", ""},
+	}
+	for _, c := range cases {
+		if got := NameHint(c.name, c.typ); got != c.want {
+			t.Errorf("NameHint(%q, %q) = %q, want %q", c.name, c.typ, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package dbsource
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A Dialect supplies the SQL shapes of one database engine: how to
+// enumerate tables and columns from its metadata catalog, and how to walk
+// a column in keyset pages. Only query *text* lives here — execution goes
+// through database/sql — so the SQLite/Postgres/MySQL adapters compile and
+// golden-test without their drivers linked; downstream builds that blank-
+// import a real driver get working introspection for free.
+//
+// The page query contract is shared by every dialect:
+//
+//	SELECT <key>, <column> FROM <table> WHERE <key> > $1 ORDER BY <key> LIMIT $2
+//
+// with a dialect-specific row key: SQLite's rowid, Postgres's ctid, MySQL's
+// _rowid alias (which requires a single-column integer primary key), and
+// the in-memory driver's implicit 1-based row number. Keyset pagination —
+// rather than OFFSET — keeps every page O(page size) regardless of how
+// deep into the column the cursor is.
+type Dialect interface {
+	// Name is the dialect's identifier ("sqlite", "postgres", ...).
+	Name() string
+	// TablesQuery lists base-table names, ordered by name. No arguments.
+	TablesQuery() string
+	// ColumnsQuery lists (column_name, declared_type) rows in ordinal
+	// position order for the table bound as the single query argument.
+	ColumnsQuery() string
+	// CountQuery counts the rows of the (quoted, interpolated) table.
+	CountQuery(table string) string
+	// PageQuery selects (key, value) rows of one column: everything with
+	// key greater than argument 1, in key order, at most argument 2 rows.
+	PageQuery(table, column string) string
+	// StartKey is the key value strictly below every row key — the cursor
+	// a fresh column walk starts from.
+	StartKey() any
+}
+
+// DialectFor maps a database/sql driver name onto its dialect. Unknown
+// drivers are an error rather than a guess: a wrong identifier-quoting
+// style produces confusing SQL errors far from the real cause.
+func DialectFor(driver string) (Dialect, error) {
+	switch strings.ToLower(driver) {
+	case DriverName, "mem":
+		return memDialect{}, nil
+	case "sqlite", "sqlite3":
+		return sqliteDialect{}, nil
+	case "postgres", "pgx", "pq":
+		return postgresDialect{}, nil
+	case "mysql":
+		return mysqlDialect{}, nil
+	default:
+		return nil, fmt.Errorf("dbsource: no dialect for driver %q (known: %s, sqlite3, postgres, mysql)", driver, DriverName)
+	}
+}
+
+// quoteDouble quotes an identifier in the SQL-standard style ("name",
+// embedded quotes doubled) used by SQLite and Postgres.
+func quoteDouble(ident string) string {
+	return `"` + strings.ReplaceAll(ident, `"`, `""`) + `"`
+}
+
+// quoteBacktick quotes an identifier in MySQL's backtick style.
+func quoteBacktick(ident string) string {
+	return "`" + strings.ReplaceAll(ident, "`", "``") + "`"
+}
+
+type sqliteDialect struct{}
+
+func (sqliteDialect) Name() string { return "sqlite" }
+func (sqliteDialect) TablesQuery() string {
+	return `SELECT name FROM sqlite_master WHERE type = 'table' AND name NOT LIKE 'sqlite_%' ORDER BY name`
+}
+func (sqliteDialect) ColumnsQuery() string {
+	return `SELECT name, type FROM pragma_table_info(?) ORDER BY cid`
+}
+func (sqliteDialect) CountQuery(table string) string {
+	return `SELECT COUNT(*) FROM ` + quoteDouble(table)
+}
+func (sqliteDialect) PageQuery(table, column string) string {
+	return fmt.Sprintf(`SELECT rowid, %s FROM %s WHERE rowid > ? ORDER BY rowid LIMIT ?`,
+		quoteDouble(column), quoteDouble(table))
+}
+func (sqliteDialect) StartKey() any { return int64(0) }
+
+type postgresDialect struct{}
+
+func (postgresDialect) Name() string { return "postgres" }
+func (postgresDialect) TablesQuery() string {
+	return `SELECT table_name FROM information_schema.tables WHERE table_schema = 'public' AND table_type = 'BASE TABLE' ORDER BY table_name`
+}
+func (postgresDialect) ColumnsQuery() string {
+	return `SELECT column_name, data_type FROM information_schema.columns WHERE table_schema = 'public' AND table_name = $1 ORDER BY ordinal_position`
+}
+func (postgresDialect) CountQuery(table string) string {
+	return `SELECT COUNT(*) FROM ` + quoteDouble(table)
+}
+func (postgresDialect) PageQuery(table, column string) string {
+	return fmt.Sprintf(`SELECT ctid, %s FROM %s WHERE ctid > $1 ORDER BY ctid LIMIT $2`,
+		quoteDouble(column), quoteDouble(table))
+}
+
+// StartKey is the tuple ID below every live Postgres row.
+func (postgresDialect) StartKey() any { return "(0,0)" }
+
+type mysqlDialect struct{}
+
+func (mysqlDialect) Name() string { return "mysql" }
+func (mysqlDialect) TablesQuery() string {
+	return `SELECT table_name FROM information_schema.tables WHERE table_schema = DATABASE() AND table_type = 'BASE TABLE' ORDER BY table_name`
+}
+func (mysqlDialect) ColumnsQuery() string {
+	return `SELECT column_name, data_type FROM information_schema.columns WHERE table_schema = DATABASE() AND table_name = ? ORDER BY ordinal_position`
+}
+func (mysqlDialect) CountQuery(table string) string {
+	return `SELECT COUNT(*) FROM ` + quoteBacktick(table)
+}
+
+// PageQuery leans on MySQL's _rowid alias, which resolves to the table's
+// single-column integer primary key; tables without one need a schema from
+// this century (or a view exposing such a key) to be paged.
+func (mysqlDialect) PageQuery(table, column string) string {
+	return fmt.Sprintf("SELECT _rowid, %s FROM %s WHERE _rowid > ? ORDER BY _rowid LIMIT ?",
+		quoteBacktick(column), quoteBacktick(table))
+}
+func (mysqlDialect) StartKey() any { return int64(0) }
+
+// memDialect speaks the in-memory driver's verb language instead of SQL.
+// The shapes are one-to-one with the SQL dialects' — same argument
+// positions, same result columns — so the streaming layer is identical
+// whichever backend executes underneath.
+type memDialect struct{}
+
+func (memDialect) Name() string        { return "mem" }
+func (memDialect) TablesQuery() string { return "TABLES" }
+func (memDialect) ColumnsQuery() string {
+	return "COLUMNS"
+}
+func (memDialect) CountQuery(table string) string {
+	return "COUNT " + strconv.Quote(table)
+}
+func (memDialect) PageQuery(table, column string) string {
+	return "PAGE " + strconv.Quote(table) + " " + strconv.Quote(column)
+}
+func (memDialect) StartKey() any { return int64(0) }

@@ -1,0 +1,112 @@
+package dbsource
+
+import "strings"
+
+// NameHint maps a column's name and declared type onto a semantic-domain
+// hint, or "" when the name says nothing. This is schema metadata the
+// database hands us for free: a column literally named email should have
+// its values checked against the email domain even when syntactic NPMI is
+// ambiguous about them. The returned strings are exactly the domains
+// semantic.CheckDomain knows how to validate — introspection copies them
+// into job specs verbatim.
+//
+// The type class acts as a veto, not a signal: "year INTEGER" is a year,
+// but "email INTEGER" is somebody's foreign key and hinting it would
+// flag every value.
+func NameHint(name, declaredType string) string {
+	n := strings.ToLower(name)
+	// Trim common prefixes/suffixes so user_email, email_addr, billing_zip
+	// still land: keep the last underscore-separated token that matches,
+	// falling back to the whole name.
+	class := typeClass(declaredType)
+	for _, tok := range candidateTokens(n) {
+		if h := hintToken(tok, class); h != "" {
+			return h
+		}
+	}
+	return ""
+}
+
+// candidateTokens yields the full name first, then its underscore-split
+// tokens from last to first (the trailing token usually carries the noun:
+// user_email, shipping_zip).
+func candidateTokens(n string) []string {
+	toks := []string{n}
+	parts := strings.Split(n, "_")
+	for i := len(parts) - 1; i >= 0; i-- {
+		if parts[i] != "" && parts[i] != n {
+			toks = append(toks, parts[i])
+		}
+	}
+	return toks
+}
+
+func hintToken(tok, class string) string {
+	switch class {
+	case "string":
+		switch tok {
+		case "email", "mail", "emailaddress":
+			return "email"
+		case "phone", "telephone", "tel", "mobile", "fax":
+			return "phone"
+		case "zip", "zipcode", "postcode", "postalcode":
+			return "zip"
+		case "url", "uri", "website", "homepage", "link":
+			return "url"
+		case "ip", "ipv4", "ipaddress", "addr4":
+			return "ipv4"
+		case "uuid", "guid":
+			return "uuid"
+		case "country", "countrycode":
+			return "country_code"
+		}
+	case "numeric":
+		switch tok {
+		case "year", "yr":
+			return "year"
+		case "zip", "zipcode":
+			// Numeric zips occur in schemas that store them as integers;
+			// the validator accepts digit shapes either way.
+			return "zip"
+		}
+	case "date":
+		switch tok {
+		case "date", "day", "birthday", "dob", "created", "updated":
+			return "date"
+		}
+	}
+	// Date-named string columns ("hire_date TEXT") are still dates.
+	if class == "string" {
+		switch tok {
+		case "date", "dob", "birthday":
+			return "date"
+		case "year":
+			return "year"
+		}
+	}
+	return ""
+}
+
+// typeClass collapses a declared SQL type into string/numeric/date/other.
+// Declared types are dialect-flavored free text (VARCHAR(40), TINYINT
+// UNSIGNED, timestamp with time zone), so this matches on substrings of
+// the lowercased type the way SQLite's own type affinity rules do.
+func typeClass(declared string) string {
+	t := strings.ToLower(declared)
+	switch {
+	case t == "":
+		return "string" // untyped (SQLite views, mem driver defaults)
+	case strings.Contains(t, "date") || strings.Contains(t, "time"):
+		return "date"
+	case strings.Contains(t, "char") || strings.Contains(t, "text") ||
+		strings.Contains(t, "clob") || strings.Contains(t, "uuid") ||
+		strings.Contains(t, "json") || strings.Contains(t, "enum"):
+		return "string"
+	case strings.Contains(t, "int") || strings.Contains(t, "dec") ||
+		strings.Contains(t, "real") || strings.Contains(t, "floa") ||
+		strings.Contains(t, "doub") || strings.Contains(t, "num"):
+		return "numeric"
+	default:
+		return "other"
+	}
+}

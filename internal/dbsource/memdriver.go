@@ -1,0 +1,437 @@
+package dbsource
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DriverName is the in-tree pure-Go database/sql driver, registered by
+// this package's init. It exists so every dbsource test, the CI smoke
+// jobs, and dependency-free builds have a real database/sql stack to run
+// against — introspection, keyset paging and the jobs executor all
+// exercise the same sql.DB code path a linked SQLite/Postgres/MySQL driver
+// would. Real drivers join downstream builds via blank imports.
+//
+// Two DSN forms are accepted:
+//
+//	mem://<name>    a registry entry seeded in-process via Register/NewMemDB
+//	<directory>     a directory of <table>.csv files, loaded once per
+//	                process (header row = column names, literal \N = NULL)
+//
+// The directory form is what lets CI seed a "database" for a real binary:
+// in-memory state cannot cross a process boundary, CSV files can.
+const DriverName = "admem"
+
+func init() { sql.Register(DriverName, memDriver{}) }
+
+// NULL literal in directory-loaded CSV cells.
+const csvNull = `\N`
+
+// MemCol is one column of an in-memory table.
+type MemCol struct {
+	// Name is the column name.
+	Name string
+	// Type is the declared type reported by introspection (TEXT, INTEGER,
+	// REAL, ...). Directory loads infer it; Go-seeded tables set it.
+	Type string
+	// Values are the cell values in row order; nil is NULL. Allowed types
+	// are the driver.Value set (string, int64, float64, bool, []byte).
+	Values []any
+}
+
+// MemTable is one in-memory table, stored column-major.
+type MemTable struct {
+	Name string
+	Cols []MemCol
+}
+
+// rows is the table's row count: the longest column (short columns read
+// as NULL past their end, mirroring how ragged CSVs load).
+func (t *MemTable) rows() int64 {
+	var n int
+	for _, c := range t.Cols {
+		if len(c.Values) > n {
+			n = len(c.Values)
+		}
+	}
+	return int64(n)
+}
+
+// MemDB is a registrable in-memory database. Safe for concurrent readers;
+// seed it fully before handing its name to sql.Open.
+type MemDB struct {
+	mu     sync.RWMutex
+	tables map[string]*MemTable
+	// fault, when set, runs before every query and may fail it — the
+	// injection point for transient-error and retry tests.
+	fault func(query string) error
+}
+
+// NewMemDB returns an empty in-memory database.
+func NewMemDB() *MemDB {
+	return &MemDB{tables: make(map[string]*MemTable)}
+}
+
+// AddTable adds (or replaces) a table.
+func (m *MemDB) AddTable(name string, cols ...MemCol) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tables[name] = &MemTable{Name: name, Cols: cols}
+}
+
+// SetQueryFault installs a hook that runs before every query and may fail
+// it; nil clears it. Tests use it to inject transient connection errors.
+func (m *MemDB) SetQueryFault(f func(query string) error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fault = f
+}
+
+// tableNames returns the table names sorted.
+func (m *MemDB) tableNames() []string {
+	names := make([]string, 0, len(m.tables))
+	for n := range m.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// memRegistry resolves mem:// DSNs and caches directory loads.
+var memRegistry = struct {
+	sync.Mutex
+	byName map[string]*MemDB
+	byDir  map[string]*MemDB
+}{byName: map[string]*MemDB{}, byDir: map[string]*MemDB{}}
+
+// Register binds db to the DSN "mem://name" process-wide. Re-registering a
+// name replaces the previous database (new connections see the new one).
+func Register(name string, db *MemDB) {
+	memRegistry.Lock()
+	defer memRegistry.Unlock()
+	memRegistry.byName[name] = db
+}
+
+// resolveDSN maps a DSN onto its MemDB, loading a CSV directory on first
+// use.
+func resolveDSN(dsn string) (*MemDB, error) {
+	if name, ok := strings.CutPrefix(dsn, "mem://"); ok {
+		memRegistry.Lock()
+		db := memRegistry.byName[name]
+		memRegistry.Unlock()
+		if db == nil {
+			return nil, fmt.Errorf("admem: no registered database %q (dbsource.Register it first)", name)
+		}
+		return db, nil
+	}
+	abs, err := filepath.Abs(dsn)
+	if err != nil {
+		return nil, fmt.Errorf("admem: resolving DSN %q: %w", dsn, err)
+	}
+	memRegistry.Lock()
+	defer memRegistry.Unlock()
+	if db, ok := memRegistry.byDir[abs]; ok {
+		return db, nil
+	}
+	db, err := loadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	memRegistry.byDir[abs] = db
+	return db, nil
+}
+
+// loadDir loads every <table>.csv directly under dir as one table. The
+// first record is the header; a literal \N cell is NULL. Declared types
+// are inferred per column (INTEGER, REAL, TEXT) from the non-NULL cells,
+// but cell values stay verbatim strings so a database built from CSVs
+// audits byte-identically to the CSVs themselves.
+func loadDir(dir string) (*MemDB, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("admem: opening DSN directory: %w", err)
+	}
+	db := NewMemDB()
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.EqualFold(filepath.Ext(e.Name()), ".csv") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		table := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
+		cols, err := loadCSVTable(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("admem: loading table %q: %w", table, err)
+		}
+		db.AddTable(table, cols...)
+		loaded++
+	}
+	if loaded == 0 {
+		return nil, fmt.Errorf("admem: no .csv tables under %s", dir)
+	}
+	return db, nil
+}
+
+func loadCSVTable(path string) ([]MemCol, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	header, err := r.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	cols := make([]MemCol, len(header))
+	for i, h := range header {
+		cols[i].Name = h
+	}
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := range cols {
+			var v any
+			if i < len(rec) && rec[i] != csvNull {
+				v = rec[i]
+			}
+			cols[i].Values = append(cols[i].Values, v)
+		}
+	}
+	for i := range cols {
+		cols[i].Type = inferType(cols[i].Values)
+	}
+	return cols, nil
+}
+
+// inferType classifies a column's declared type from its non-NULL cells.
+func inferType(values []any) string {
+	allInt, allNum, any := true, true, false
+	for _, v := range values {
+		s, ok := v.(string)
+		if !ok {
+			continue // NULL
+		}
+		any = true
+		if _, err := strconv.ParseInt(s, 10, 64); err != nil {
+			allInt = false
+		}
+		if _, err := strconv.ParseFloat(s, 64); err != nil {
+			allNum = false
+		}
+	}
+	switch {
+	case any && allInt:
+		return "INTEGER"
+	case any && allNum:
+		return "REAL"
+	default:
+		return "TEXT"
+	}
+}
+
+// --- driver plumbing ---
+
+type memDriver struct{}
+
+func (memDriver) Open(dsn string) (driver.Conn, error) {
+	db, err := resolveDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return &memConn{db: db}, nil
+}
+
+type memConn struct{ db *MemDB }
+
+func (c *memConn) Prepare(string) (driver.Stmt, error) {
+	return nil, errors.New("admem: prepared statements are not supported")
+}
+func (c *memConn) Close() error { return nil }
+func (c *memConn) Begin() (driver.Tx, error) {
+	return nil, errors.New("admem: transactions are not supported")
+}
+
+// QueryContext parses and executes one verb of the mem dialect's command
+// language: TABLES · COLUMNS (table as arg) · COUNT "t" · PAGE "t" "c"
+// (after, limit as args).
+func (c *memConn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.db.mu.RLock()
+	fault := c.db.fault
+	c.db.mu.RUnlock()
+	if fault != nil {
+		if err := fault(query); err != nil {
+			return nil, err
+		}
+	}
+	toks, err := splitCommand(query)
+	if err != nil || len(toks) == 0 {
+		return nil, fmt.Errorf("admem: bad query %q: %v", query, err)
+	}
+	c.db.mu.RLock()
+	defer c.db.mu.RUnlock()
+	switch toks[0] {
+	case "TABLES":
+		names := c.db.tableNames()
+		rows := make([][]driver.Value, 0, len(names))
+		for _, n := range names {
+			rows = append(rows, []driver.Value{n, c.db.tables[n].rows()})
+		}
+		return &memRows{cols: []string{"name", "row_count"}, rows: rows}, nil
+	case "COLUMNS":
+		if len(args) != 1 {
+			return nil, errors.New("admem: COLUMNS wants the table name as its argument")
+		}
+		t, err := c.lookup(fmt.Sprint(args[0].Value))
+		if err != nil {
+			return nil, err
+		}
+		rows := make([][]driver.Value, 0, len(t.Cols))
+		for _, col := range t.Cols {
+			rows = append(rows, []driver.Value{col.Name, col.Type})
+		}
+		return &memRows{cols: []string{"name", "type"}, rows: rows}, nil
+	case "COUNT":
+		if len(toks) != 2 {
+			return nil, fmt.Errorf("admem: bad COUNT %q", query)
+		}
+		t, err := c.lookup(toks[1])
+		if err != nil {
+			return nil, err
+		}
+		return &memRows{cols: []string{"count"}, rows: [][]driver.Value{{t.rows()}}}, nil
+	case "PAGE":
+		if len(toks) != 3 || len(args) != 2 {
+			return nil, fmt.Errorf("admem: bad PAGE %q (want PAGE \"table\" \"column\" with after, limit args)", query)
+		}
+		return c.page(toks[1], toks[2], args[0].Value, args[1].Value)
+	default:
+		return nil, fmt.Errorf("admem: unknown verb %q", toks[0])
+	}
+}
+
+func (c *memConn) lookup(name string) (*MemTable, error) {
+	t := c.db.tables[name]
+	if t == nil {
+		return nil, fmt.Errorf("admem: no such table %q", name)
+	}
+	return t, nil
+}
+
+// page serves one keyset page: rows with 1-based row number strictly above
+// after, in row order, at most limit of them.
+func (c *memConn) page(table, column string, afterV, limitV any) (driver.Rows, error) {
+	t, err := c.lookup(table)
+	if err != nil {
+		return nil, err
+	}
+	var col *MemCol
+	for i := range t.Cols {
+		if t.Cols[i].Name == column {
+			col = &t.Cols[i]
+			break
+		}
+	}
+	if col == nil {
+		return nil, fmt.Errorf("admem: no column %q in table %q", column, table)
+	}
+	after, ok := afterV.(int64)
+	if !ok {
+		return nil, fmt.Errorf("admem: PAGE after key must be int64, got %T", afterV)
+	}
+	limit, ok := limitV.(int64)
+	if !ok {
+		return nil, fmt.Errorf("admem: PAGE limit must be int64, got %T", limitV)
+	}
+	total := t.rows()
+	var rows [][]driver.Value
+	for rowid := after + 1; rowid <= total && int64(len(rows)) < limit; rowid++ {
+		var v driver.Value
+		if rowid <= int64(len(col.Values)) {
+			v = col.Values[rowid-1]
+		}
+		rows = append(rows, []driver.Value{rowid, v})
+	}
+	return &memRows{cols: []string{"key", "value"}, rows: rows}, nil
+}
+
+// splitCommand tokenizes a verb string, honoring strconv.Quote-style
+// quoted identifiers.
+func splitCommand(s string) ([]string, error) {
+	var toks []string
+	for i := 0; i < len(s); {
+		switch {
+		case s[i] == ' ':
+			i++
+		case s[i] == '"':
+			q, rest, err := cutQuoted(s[i:])
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, q)
+			i = len(s) - len(rest)
+		default:
+			j := strings.IndexByte(s[i:], ' ')
+			if j < 0 {
+				toks = append(toks, s[i:])
+				i = len(s)
+			} else {
+				toks = append(toks, s[i:i+j])
+				i += j
+			}
+		}
+	}
+	return toks, nil
+}
+
+// cutQuoted unquotes the leading Go-quoted token of s, returning it and
+// the remainder.
+func cutQuoted(s string) (string, string, error) {
+	for j := 1; j < len(s); j++ {
+		if s[j] == '\\' {
+			j++
+			continue
+		}
+		if s[j] == '"' {
+			tok, err := strconv.Unquote(s[:j+1])
+			return tok, s[j+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quote in %q", s)
+}
+
+type memRows struct {
+	cols []string
+	rows [][]driver.Value
+	pos  int
+}
+
+func (r *memRows) Columns() []string { return r.cols }
+func (r *memRows) Close() error      { return nil }
+func (r *memRows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.rows) {
+		return io.EOF
+	}
+	copy(dest, r.rows[r.pos])
+	r.pos++
+	return nil
+}

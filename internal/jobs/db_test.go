@@ -1,0 +1,349 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/corpus"
+	"repro/internal/dbsource"
+	"repro/internal/faultfs"
+)
+
+// seedJobDB builds a three-table in-memory database out of the same dirty
+// generator the table-job tests audit, plus an email column with planted
+// format errors so the schema-hint path produces findings. It returns the
+// database and the per-table column sets (values as the strings the DB
+// serves), for CSV-export equivalence runs.
+func seedJobDB(t *testing.T, seed int64) (*dbsource.MemDB, map[string][]*corpus.Column) {
+	t.Helper()
+	c := corpus.Generate(corpus.EntXLSProfile(), 9, seed)
+	tables := map[string][]*corpus.Column{}
+	for i, col := range c.Columns {
+		table := fmt.Sprintf("t%d", i%3)
+		tables[table] = append(tables[table], &corpus.Column{
+			Name:   fmt.Sprintf("%03d_%s", i, strings.ReplaceAll(col.Name, ".", "_")),
+			Values: col.Values,
+		})
+	}
+	emails := []string{
+		"ann@example.com", "bob@example.com", "carol@example.com", "dave@example.com",
+		"eve@example.com", "not an email", "frank@example.com", "grace@example.com",
+		"heidi@example.com", "ivan@example.com", "judy@example.com", "5551234",
+	}
+	tables["t0"] = append(tables["t0"], &corpus.Column{Name: "email", Values: emails})
+
+	db := dbsource.NewMemDB()
+	for name, cols := range tables {
+		mem := make([]dbsource.MemCol, len(cols))
+		for i, col := range cols {
+			vals := make([]any, len(col.Values))
+			for j, v := range col.Values {
+				vals[j] = v
+			}
+			mem[i] = dbsource.MemCol{Name: col.Name, Type: "TEXT", Values: vals}
+		}
+		db.AddTable(name, mem...)
+	}
+	return db, tables
+}
+
+// stripProvenance zeroes the Source/Table stamps so DB findings compare
+// byte-for-byte against CSV findings (whose provenance is empty).
+func stripProvenance(results []ColumnResult) []ColumnResult {
+	out := make([]ColumnResult, len(results))
+	for i, cr := range results {
+		out[i] = ColumnResult{Column: cr.Column, Findings: append([]audit.Finding(nil), cr.Findings...)}
+		for j := range out[i].Findings {
+			out[i].Findings[j].Source = ""
+			out[i].Findings[j].Table = ""
+		}
+	}
+	return out
+}
+
+// TestDBAuditMatchesCSVAudit is the equivalence half of the acceptance
+// criteria: auditing a database through dbsource and auditing the same
+// data exported to CSV must produce identical findings. The CSV leg
+// really round-trips through corpus.WriteCSV/ReadCSV — the comparison
+// covers NULL/type normalization, unit ordering, and hint parity, not
+// just the executor.
+func TestDBAuditMatchesCSVAudit(t *testing.T) {
+	det := testDetector(t)
+	db, tables := seedJobDB(t, 77)
+	dbsource.Register("jobs-eq", db)
+
+	m := openManager(t, context.Background(), Config{
+		Dir: t.TempDir(), Workers: 2, Model: modelFn(det),
+	})
+
+	dbSt, err := m.SubmitDB(context.Background(), DBRequest{DSN: "mem://jobs-eq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbDone := waitStatus(t, m, dbSt.ID, StatusDone)
+	if dbDone.FindingsTotal() == 0 {
+		t.Fatal("DB audit produced no findings; equivalence would be vacuous")
+	}
+
+	// Export every table to CSV bytes and read them back — the same
+	// round-trip an operator's dump would take — then audit as a plain
+	// table job keyed by the qualified unit names with the same hints the
+	// DB submission derived from the schema.
+	columns := map[string][]string{}
+	hints := map[string]string{}
+	for table, cols := range tables {
+		var buf bytes.Buffer
+		if err := corpus.WriteCSV(&buf, cols); err != nil {
+			t.Fatal(err)
+		}
+		back, err := corpus.ReadCSV(&buf, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, col := range back {
+			unit := table + "." + col.Name
+			columns[unit] = col.Values
+			if h := dbsource.NameHint(col.Name, "TEXT"); h != "" {
+				hints[unit] = h
+			}
+		}
+	}
+	csvSt, err := m.SubmitTable(context.Background(), columns, hints, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvDone := waitStatus(t, m, csvSt.ID, StatusDone)
+
+	// The DB leg must actually flag the planted bad emails via the
+	// schema-derived hint, with table provenance stamped on.
+	foundDomain := false
+	for _, cr := range dbDone.Results {
+		for _, f := range cr.Findings {
+			if f.Source != dbsource.DriverName || f.Table == "" {
+				t.Fatalf("DB finding missing provenance: %+v", f)
+			}
+			if cr.Column == "t0.email" && f.Kind == "domain" {
+				foundDomain = true
+			}
+		}
+	}
+	if !foundDomain {
+		t.Error("expected a domain finding on t0.email from the schema hint")
+	}
+
+	got, err := json.Marshal(stripProvenance(dbDone.Results))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(csvDone.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("DB audit != CSV audit\ndb:  %s\ncsv: %s", got, want)
+	}
+}
+
+// TestDBChaosKillResumeByteIdentical is the resume half of the acceptance
+// criteria, mirroring the table-job chaos test: the executor is killed at
+// checkpoint boundaries across four manager generations (with one torn
+// and one bit-flipped state file between them), and the eventually-
+// completed whole-database audit must be byte-identical to an
+// uninterrupted run against the same database.
+func TestDBChaosKillResumeByteIdentical(t *testing.T) {
+	det := testDetector(t)
+	db, _ := seedJobDB(t, 99)
+	dbsource.Register("jobs-chaos", db)
+
+	cleanMgr := openManager(t, context.Background(), Config{
+		Dir: t.TempDir(), Workers: 1, Model: modelFn(det),
+	})
+	cst, err := cleanMgr.SubmitDB(context.Background(), DBRequest{DSN: "mem://jobs-chaos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := waitStatus(t, cleanMgr, cst.ID, StatusDone)
+	if clean.FindingsTotal() == 0 {
+		t.Fatal("clean run produced no findings; byte comparison would be vacuous")
+	}
+	want, err := json.Marshal(clean.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	var id string
+	const killCycles = 4
+	for cycle := 0; cycle < killCycles; cycle++ {
+		ctx, cancelCause := context.WithCancelCause(context.Background())
+		ks := faultfs.NewKillSwitch(2, func() {
+			cancelCause(errors.New("chaos: injected kill"))
+		})
+		m, err := Open(ctx, Config{
+			Dir: dir, Workers: 1, Model: modelFn(det),
+			CheckpointHook: func(string, int) { ks.Hit() },
+		})
+		if err != nil {
+			t.Fatalf("cycle %d open: %v", cycle, err)
+		}
+		if cycle == 0 {
+			st, err := m.SubmitDB(context.Background(), DBRequest{DSN: "mem://jobs-chaos"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			id = st.ID
+		} else if m.Recovered() != 1 {
+			t.Fatalf("cycle %d recovered %d jobs, want 1", cycle, m.Recovered())
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for !ks.Fired() {
+			if time.Now().After(deadline) {
+				t.Fatalf("cycle %d: kill switch never fired", cycle)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		cctx, ccancel := context.WithTimeout(context.Background(), 20*time.Second)
+		if err := m.Close(cctx); err != nil {
+			t.Fatalf("cycle %d close: %v", cycle, err)
+		}
+		ccancel()
+		cancelCause(nil)
+
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("cycle %d state after kill: %v", cycle, err)
+		}
+		if st.Status.Terminal() {
+			t.Fatalf("cycle %d: job reached %s before enough kills", cycle, st.Status)
+		}
+		statePath := filepath.Join(dir, id, "state.bin")
+		switch cycle {
+		case 0:
+			tearFile(t, statePath)
+		case 1:
+			if err := faultfs.FlipByte(statePath, 20, 0x40); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	m := openManager(t, context.Background(), Config{
+		Dir: dir, Workers: 1, Model: modelFn(det),
+	})
+	done := waitStatus(t, m, id, StatusDone)
+	if done.Resumes < 1 {
+		t.Fatalf("resumes = %d, want >= 1 after %d kills", done.Resumes, killCycles)
+	}
+	got, err := json.Marshal(done.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("chaos-run findings differ from clean run after %d kills\nclean: %s\nchaos: %s",
+			killCycles, want, got)
+	}
+}
+
+// TestDBSchemaPinFailsLoudly: a database mutated between checkpoint and
+// resume must fail the resumed job with the pinned-hash error, never
+// silently produce findings from the new schema.
+func TestDBSchemaPinFailsLoudly(t *testing.T) {
+	det := testDetector(t)
+	db, _ := seedJobDB(t, 55)
+	dbsource.Register("jobs-pin", db)
+
+	dir := t.TempDir()
+	ctx, cancelCause := context.WithCancelCause(context.Background())
+	ks := faultfs.NewKillSwitch(1, func() {
+		cancelCause(errors.New("chaos: injected kill"))
+	})
+	m, err := Open(ctx, Config{
+		Dir: dir, Workers: 1, Model: modelFn(det),
+		CheckpointHook: func(string, int) { ks.Hit() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.SubmitDB(context.Background(), DBRequest{DSN: "mem://jobs-pin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for !ks.Fired() {
+		if time.Now().After(deadline) {
+			t.Fatal("kill switch never fired")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cctx, ccancel := context.WithTimeout(context.Background(), 20*time.Second)
+	if err := m.Close(cctx); err != nil {
+		t.Fatal(err)
+	}
+	ccancel()
+	cancelCause(nil)
+
+	// Mutate the database while the job sleeps on disk.
+	db.AddTable("t0", dbsource.MemCol{Name: "email", Type: "TEXT", Values: []any{"x@y.zz"}})
+
+	m2 := openManager(t, context.Background(), Config{
+		Dir: dir, Workers: 1, Model: modelFn(det),
+	})
+	failed := waitStatus(t, m2, st.ID, StatusFailed)
+	if !strings.Contains(failed.Error, "changed since submission") {
+		t.Fatalf("error = %q, want the schema-pin message", failed.Error)
+	}
+}
+
+// TestSubmitDBValidation covers the submission-time error surface.
+func TestSubmitDBValidation(t *testing.T) {
+	det := testDetector(t)
+	m := openManager(t, context.Background(), Config{
+		Dir: t.TempDir(), Workers: 1, Model: modelFn(det),
+	})
+	if _, err := m.SubmitDB(context.Background(), DBRequest{}); !errors.Is(err, ErrDatabase) {
+		t.Errorf("empty DSN: %v, want ErrDatabase", err)
+	}
+	if _, err := m.SubmitDB(context.Background(), DBRequest{DSN: "mem://jobs-definitely-unregistered"}); !errors.Is(err, ErrDatabase) {
+		t.Errorf("unknown registry name: %v, want ErrDatabase", err)
+	}
+	if _, err := m.SubmitDB(context.Background(), DBRequest{Driver: "oracle", DSN: "x"}); !errors.Is(err, ErrDatabase) {
+		t.Errorf("unknown driver: %v, want ErrDatabase", err)
+	}
+	db, _ := seedJobDB(t, 11)
+	dbsource.Register("jobs-cap", db)
+	if _, err := m.SubmitDB(context.Background(), DBRequest{DSN: "mem://jobs-cap", MaxValues: 3}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("tiny cap: %v, want ErrTooLarge", err)
+	}
+	if _, err := m.SubmitDB(context.Background(), DBRequest{DSN: "mem://jobs-cap", Tables: []string{"missing"}}); !errors.Is(err, ErrDatabase) {
+		t.Errorf("bad table filter: %v, want ErrDatabase", err)
+	}
+}
+
+// TestDBSpecOrderStable pins the spec-level ordering contract: ColumnOrder
+// over a DB spec equals the sorted unit names, matching what a table job
+// keyed by the same names would audit.
+func TestDBSpecOrderStable(t *testing.T) {
+	sp := &Spec{DB: &DBSpec{Units: []DBUnit{
+		{Table: "a", Column: "x", Rows: 2},
+		{Table: "a", Column: "y", Rows: 2},
+		{Table: "b", Column: "x", Rows: 3},
+	}}}
+	order := sp.ColumnOrder()
+	sorted := append([]string(nil), order...)
+	sort.Strings(sorted)
+	if fmt.Sprint(order) != fmt.Sprint(sorted) {
+		t.Fatalf("DB column order %v not sorted", order)
+	}
+	if sp.NumColumns() != 3 || sp.TotalValues() != 7 {
+		t.Fatalf("NumColumns=%d TotalValues=%d", sp.NumColumns(), sp.TotalValues())
+	}
+}

@@ -77,15 +77,25 @@ var (
 )
 
 // Spec is the immutable description of a batch audit job, written once at
-// submission. Columns map column names to cell values exactly as posted.
+// submission. Exactly one of Columns and DB is set: Columns maps column
+// names to cell values exactly as posted (a table job), DB describes a
+// whole-database audit whose values are streamed from the database at
+// execution time.
 type Spec struct {
 	ID string `json:"id"`
 	// Seq is the submission sequence number; recovery re-enqueues
 	// non-terminal jobs in Seq order so FIFO survives restarts.
-	Seq           uint64              `json:"seq"`
-	Columns       map[string][]string `json:"columns"`
-	MinConfidence float64             `json:"min_confidence"`
-	SubmittedUnix int64               `json:"submitted_unix"`
+	Seq     uint64              `json:"seq"`
+	Columns map[string][]string `json:"columns,omitempty"`
+	// DB, when set, makes this a whole-database audit job; see DBSpec.
+	DB *DBSpec `json:"db,omitempty"`
+	// Hints maps column names (for DB jobs, "table.column" unit names)
+	// onto semantic-domain hints the executor passes to
+	// audit.CheckColumnHinted. DB submissions fill it from schema
+	// introspection; table submissions may post hints explicitly.
+	Hints         map[string]string `json:"hints,omitempty"`
+	MinConfidence float64           `json:"min_confidence"`
+	SubmittedUnix int64             `json:"submitted_unix"`
 	// Traceparent is the submitting request's span context in W3C form,
 	// persisted with the spec so every execution of the job — including
 	// resumes after a crash or drain, possibly days later in a different
@@ -94,9 +104,18 @@ type Spec struct {
 }
 
 // ColumnOrder returns the deterministic audit order: column names sorted
-// lexicographically. Progress checkpoints are indices into this order, so
-// it must be stable across restarts regardless of map iteration.
+// lexicographically (for DB jobs, the pinned "table.column" unit names,
+// which introspection already stores sorted). Progress checkpoints are
+// indices into this order, so it must be stable across restarts
+// regardless of map iteration.
 func (sp *Spec) ColumnOrder() []string {
+	if sp.DB != nil {
+		names := make([]string, len(sp.DB.Units))
+		for i, u := range sp.DB.Units {
+			names[i] = u.Name()
+		}
+		return names
+	}
 	names := make([]string, 0, len(sp.Columns))
 	for name := range sp.Columns {
 		names = append(names, name)
@@ -105,9 +124,26 @@ func (sp *Spec) ColumnOrder() []string {
 	return names
 }
 
+// NumColumns is the number of columns the job audits — the checkpoint
+// denominator, valid for both table and DB jobs.
+func (sp *Spec) NumColumns() int {
+	if sp.DB != nil {
+		return len(sp.DB.Units)
+	}
+	return len(sp.Columns)
+}
+
 // TotalValues is the cell count across all columns (the quantity bounded
-// by the server's MaxTableValues cap).
+// by the server's MaxTableValues cap). For DB jobs it is the row count
+// snapshot taken at submission.
 func (sp *Spec) TotalValues() int {
+	if sp.DB != nil {
+		total := int64(0)
+		for _, u := range sp.DB.Units {
+			total += u.Rows
+		}
+		return int(total)
+	}
 	total := 0
 	for _, vs := range sp.Columns {
 		total += len(vs)

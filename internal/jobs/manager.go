@@ -168,7 +168,7 @@ func (m *Manager) recover() ([]string, error) {
 			m.logWarn("job state unreadable, restarting from scratch", "job", id, "error", err)
 			st = &State{
 				ID: id, Seq: sp.Seq, Status: StatusQueued,
-				ColumnsTotal: len(sp.Columns), SubmittedUnix: sp.SubmittedUnix,
+				ColumnsTotal: sp.NumColumns(), SubmittedUnix: sp.SubmittedUnix,
 			}
 			if err := m.store.PutState(st); err != nil {
 				return nil, err
@@ -214,9 +214,26 @@ func (m *Manager) writeFailed(id string, seq uint64, msg string) {
 // signals backpressure (the HTTP layer answers 429 + Retry-After);
 // ErrClosed means the manager is draining.
 func (m *Manager) Submit(ctx context.Context, columns map[string][]string, minConf float64) (*State, error) {
+	return m.SubmitTable(ctx, columns, nil, minConf)
+}
+
+// SubmitTable is Submit with optional per-column semantic-domain hints
+// (keys are column names, values domains semantic.KnownDomain accepts —
+// the HTTP layer validates, this layer stores).
+func (m *Manager) SubmitTable(ctx context.Context, columns map[string][]string, hints map[string]string, minConf float64) (*State, error) {
 	if len(columns) == 0 {
 		return nil, errors.New("jobs: empty table")
 	}
+	if len(hints) == 0 {
+		hints = nil
+	}
+	return m.enqueueSpec(ctx, &Spec{Columns: columns, Hints: hints, MinConfidence: minConf})
+}
+
+// enqueueSpec is the shared admission tail of SubmitTable and SubmitDB:
+// it assigns identity and sequence, persists spec then state, and
+// enqueues under the backpressure cap.
+func (m *Manager) enqueueSpec(ctx context.Context, sp *Spec) (*State, error) {
 	id, err := newID()
 	if err != nil {
 		return nil, err
@@ -230,14 +247,13 @@ func (m *Manager) Submit(ctx context.Context, columns map[string][]string, minCo
 		return nil, ErrQueueFull
 	}
 	now := time.Now().Unix()
-	sp := &Spec{
-		ID: id, Seq: m.seq, Columns: columns,
-		MinConfidence: minConf, SubmittedUnix: now,
-		Traceparent: observe.SpanContextFrom(ctx).Traceparent(),
-	}
+	sp.ID = id
+	sp.Seq = m.seq
+	sp.SubmittedUnix = now
+	sp.Traceparent = observe.SpanContextFrom(ctx).Traceparent()
 	st := &State{
 		ID: id, Seq: m.seq, Status: StatusQueued,
-		ColumnsTotal: len(columns), SubmittedUnix: now,
+		ColumnsTotal: sp.NumColumns(), SubmittedUnix: now,
 	}
 	// Spec before state: recovery rebuilds a missing state from the spec,
 	// but a state without a spec is unexecutable.
@@ -422,7 +438,7 @@ func (m *Manager) runJob(id string) {
 		m.logWarn("job state unreadable at pickup, restarting from scratch", "job", id, "error", err)
 		st = &State{
 			ID: id, Seq: sp.Seq, Status: StatusQueued,
-			ColumnsTotal: len(sp.Columns), SubmittedUnix: sp.SubmittedUnix,
+			ColumnsTotal: sp.NumColumns(), SubmittedUnix: sp.SubmittedUnix,
 		}
 	}
 	if st.Status.Terminal() {
@@ -500,6 +516,11 @@ func (m *Manager) runJob(id string) {
 	if resumed {
 		observe.SetSpanAttr(ctx, "resumed", "true")
 	}
+	if sp.DB != nil {
+		observe.SetSpanAttr(ctx, "db_driver", sp.DB.Driver)
+	}
+	fetch := m.newFetcher(sp, order)
+	defer fetch.close()
 	traceID := observe.TraceIDFrom(ctx)
 	start := time.Now()
 	var execErr error
@@ -517,8 +538,25 @@ func (m *Manager) runJob(id string) {
 		colStart := time.Now()
 		colCtx, endCol := observe.Span(ctx, "job_column")
 		observe.SetSpanAttr(colCtx, "column", order[i])
-		fs := audit.CheckColumn(ctx, det, sem, sp.Columns[order[i]], sp.MinConfidence)
+		values, ferr := fetch.values(jobCtx, i)
+		if ferr != nil {
+			endCol()
+			// A context kill surfacing as a fetch error is an interrupt
+			// (resume later), not a job failure.
+			if jobCtx.Err() != nil {
+				break
+			}
+			execErr = fmt.Errorf("fetching column %s: %w", order[i], ferr)
+			break
+		}
+		fs := audit.CheckColumnHinted(ctx, det, sem, values, sp.MinConfidence, sp.Hints[order[i]])
 		endCol()
+		if source, table := fetch.provenance(i); source != "" || table != "" {
+			for j := range fs {
+				fs[j].Source = source
+				fs[j].Table = table
+			}
+		}
 		st.Results = append(st.Results, ColumnResult{Column: order[i], Findings: fs})
 		st.ColumnsDone = i + 1
 		if err := m.store.PutState(st); err != nil {

@@ -376,12 +376,28 @@ func (b *build) count(ctx context.Context) error {
 	// Re-stream past the checkpoint boundary. The source re-delivers from
 	// the start; covered columns are discarded without folding (their
 	// counts and reservoir effects are already in the restored shard).
-	for skipped := uint64(0); skipped < b.resumed; skipped++ {
+	// Sources that can reposition without materializing values — database
+	// sources skip whole table.column walks this way — take the fast path;
+	// whatever remainder they report falls through to the discard loop.
+	skip := b.resumed
+	if skipper, ok := b.src.(interface {
+		SkipColumns(n uint64) (uint64, error)
+	}); ok && skip > 0 {
+		n, err := skipper.SkipColumns(skip)
+		if err != nil {
+			return fmt.Errorf("pipeline: skipping to checkpoint: %w", err)
+		}
+		if n > skip {
+			return fmt.Errorf("pipeline: source skipped %d columns, asked for %d", n, skip)
+		}
+		skip -= n
+	}
+	for skipped := uint64(0); skipped < skip; skipped++ {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("pipeline: interrupted while skipping to checkpoint: %w", err)
 		}
 		if _, err := b.src.Next(); err == io.EOF {
-			return fmt.Errorf("pipeline: checkpoint covers %d columns but source drained after %d; source changed since checkpoint", b.resumed, skipped)
+			return fmt.Errorf("pipeline: checkpoint covers %d columns but source drained after %d; source changed since checkpoint", b.resumed, b.resumed-skip+skipped)
 		} else if err != nil {
 			return fmt.Errorf("pipeline: %w", err)
 		}

@@ -14,9 +14,11 @@ package retry
 
 import (
 	"context"
+	"database/sql/driver"
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"syscall"
 	"time"
 )
@@ -311,7 +313,8 @@ var retryableErrnos = []syscall.Errno{
 }
 
 // IsTransient is the default error classifier: true for values marked with
-// Transient, deadline expiries, and the retryable errno set; false for
+// Transient, deadline expiries, the retryable errno set, driver.ErrBadConn,
+// and the transient SQL error strings database drivers surface; false for
 // values marked with Permanent, for definitive filesystem answers
 // (not-exist, permission, invalid), for context errors, and for anything
 // unrecognized — unknown failures are treated as real, not retried into.
@@ -340,5 +343,26 @@ func IsTransient(err error) bool {
 			return true
 		}
 	}
+	if errors.Is(err, driver.ErrBadConn) {
+		return true
+	}
+	msg := strings.ToLower(err.Error())
+	for _, marker := range transientSQLMarkers {
+		if strings.Contains(msg, marker) {
+			return true
+		}
+	}
 	return false
+}
+
+// transientSQLMarkers are error-message substrings common across SQL
+// drivers for failures that clear on their own: a dropped connection, a
+// server at its connection cap, a lock cycle the engine broke by killing
+// one victim. Substring matching is crude, but database/sql drivers
+// expose most of these only as strings — and a false positive merely
+// costs a bounded, budgeted retry.
+var transientSQLMarkers = []string{
+	"connection reset",
+	"too many connections",
+	"deadlock",
 }

@@ -2,6 +2,7 @@ package retry
 
 import (
 	"context"
+	"database/sql/driver"
 	"errors"
 	"fmt"
 	"os"
@@ -152,6 +153,16 @@ func TestIsTransientClassification(t *testing.T) {
 		{os.ErrDeadlineExceeded, true},
 		{context.Canceled, false},
 		{context.DeadlineExceeded, false},
+		// SQL drivers: ErrBadConn and the transient message classes.
+		{driver.ErrBadConn, true},
+		{fmt.Errorf("exec: %w", driver.ErrBadConn), true},
+		{errors.New("read tcp 10.0.0.1:5432: connection reset by peer"), true},
+		{errors.New("Error 1040: Too Many Connections"), true},
+		{errors.New("pq: deadlock detected"), true},
+		{errors.New("Error 1213: Deadlock found when trying to get lock"), true},
+		{errors.New("pq: syntax error at or near \"SELEC\""), false},
+		// Permanent() outranks a transient-looking message.
+		{Permanent(errors.New("connection reset by peer")), false},
 	}
 	for _, c := range cases {
 		if got := IsTransient(c.err); got != c.want {

@@ -1,0 +1,101 @@
+package semantic
+
+import "testing"
+
+func TestKnownDomain(t *testing.T) {
+	for _, d := range []string{"email", "phone", "zip", "url", "ipv4", "uuid", "date", "year", "country_code", "bool"} {
+		if !KnownDomain(d) {
+			t.Errorf("KnownDomain(%q) = false", d)
+		}
+	}
+	if KnownDomain("ssn") {
+		t.Error("KnownDomain(ssn) should be false")
+	}
+}
+
+func TestCheckDomainFlagsOutliers(t *testing.T) {
+	values := []string{
+		"a@x.com", "b@x.com", "c@x.com", "d@x.com", "e@x.com",
+		"not-an-email", "f@x.com", "g@x.com", "h@x.com", "", "not-an-email",
+	}
+	fs := CheckDomain("email", values)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %+v, want exactly one (distinct values flagged once)", fs)
+	}
+	f := fs[0]
+	if f.Value != "not-an-email" || f.Index != 5 {
+		t.Errorf("finding = %+v, want first occurrence at index 5", f)
+	}
+	if f.Partner != "email format" {
+		t.Errorf("partner = %q", f.Partner)
+	}
+	// 8 of 10 non-empty values conform (the empty cell is excluded).
+	if f.Confidence != 0.8 {
+		t.Errorf("confidence = %f, want 0.8", f.Confidence)
+	}
+}
+
+func TestCheckDomainRejectsWrongHint(t *testing.T) {
+	// A column of user IDs hinted as email: conformity is ~0, the hint is
+	// judged wrong and nothing is flagged.
+	values := []string{"u001", "u002", "u003", "u004", "a@x.com"}
+	if fs := CheckDomain("email", values); fs != nil {
+		t.Fatalf("wrong hint should yield no findings, got %+v", fs)
+	}
+}
+
+func TestCheckDomainEdgeCases(t *testing.T) {
+	if fs := CheckDomain("email", nil); fs != nil {
+		t.Errorf("empty column: %+v", fs)
+	}
+	if fs := CheckDomain("email", []string{"", "", ""}); fs != nil {
+		t.Errorf("all-NULL column: %+v", fs)
+	}
+	if fs := CheckDomain("email", []string{"a@x.com", "b@x.com"}); fs != nil {
+		t.Errorf("fully conforming column: %+v", fs)
+	}
+	if fs := CheckDomain("nonsense", []string{"a"}); fs != nil {
+		t.Errorf("unknown domain: %+v", fs)
+	}
+}
+
+func TestValidators(t *testing.T) {
+	cases := []struct {
+		domain, value string
+		want          bool
+	}{
+		{"email", "a@b.co", true},
+		{"email", "a b@b.co", false},
+		{"email", "a@b", false},
+		{"phone", "+1 (555) 123-4567", true},
+		{"phone", "555-0199", true},
+		{"phone", "123", false},
+		{"phone", "call me", false},
+		{"zip", "10001", true},
+		{"zip", "10001-1234", true},
+		{"zip", "1000", false},
+		{"url", "https://example.com/x", true},
+		{"url", "example.com", false},
+		{"ipv4", "192.168.0.1", true},
+		{"ipv4", "192.168.0.256", false},
+		{"ipv4", "192.168.0", false},
+		{"uuid", "123e4567-e89b-12d3-a456-426614174000", true},
+		{"uuid", "123e4567e89b12d3a456426614174000", false},
+		{"date", "2024-02-29", true},
+		{"date", "2024-13-01", false},
+		{"date", "2024-02-29T12:00:00Z", true},
+		{"date", "02/29/2024", false},
+		{"year", "1999", true},
+		{"year", "99", false},
+		{"country_code", "US", true},
+		{"country_code", "USA", false},
+		{"bool", "true", true},
+		{"bool", "Y", true},
+		{"bool", "maybe", false},
+	}
+	for _, c := range cases {
+		if got := domainValidators[c.domain](c.value); got != c.want {
+			t.Errorf("%s(%q) = %v, want %v", c.domain, c.value, got, c.want)
+		}
+	}
+}

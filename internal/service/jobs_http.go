@@ -20,6 +20,7 @@ import (
 	"repro/internal/envelope"
 	"repro/internal/jobs"
 	"repro/internal/resilience"
+	"repro/internal/semantic"
 )
 
 const (
@@ -27,11 +28,27 @@ const (
 	maxResultsPageSize     = 1000
 )
 
-// jobSubmitRequest is the body of POST /v1/jobs — the same shape as
-// /v1/check-table, but audited asynchronously.
+// jobSubmitRequest is the body of POST /v1/jobs. Exactly one of columns
+// (the /v1/check-table shape, audited asynchronously) and database (a
+// whole-database audit streamed from the DSN) is given.
 type jobSubmitRequest struct {
-	Columns       map[string][]string `json:"columns"`
-	MinConfidence float64             `json:"min_confidence"`
+	Columns map[string][]string `json:"columns"`
+	// Hints maps column names onto semantic-domain names (email, phone,
+	// zip, ...) to run format checks alongside the detectors. Database
+	// submissions derive hints from schema metadata automatically.
+	Hints         map[string]string `json:"hints,omitempty"`
+	Database      *jobDBRequest     `json:"database,omitempty"`
+	MinConfidence float64           `json:"min_confidence"`
+}
+
+// jobDBRequest names the database a whole-database audit streams from.
+type jobDBRequest struct {
+	// Driver is the database/sql driver name; empty selects the in-tree
+	// in-memory driver.
+	Driver string `json:"driver,omitempty"`
+	DSN    string `json:"dsn"`
+	// Tables optionally restricts the audit.
+	Tables []string `json:"tables,omitempty"`
 }
 
 // jobStatus is the wire form of a job's state (findings ride on the
@@ -110,6 +127,10 @@ func writeJobErr(w http.ResponseWriter, r *http.Request, err error) {
 		writeErr(w, r, http.StatusTooManyRequests, "job queue full, retry later")
 	case errors.Is(err, jobs.ErrClosed):
 		writeErr(w, r, http.StatusServiceUnavailable, "server draining, not accepting jobs")
+	case errors.Is(err, jobs.ErrTooLarge):
+		writeErr(w, r, http.StatusRequestEntityTooLarge, err.Error())
+	case errors.Is(err, jobs.ErrDatabase):
+		writeErr(w, r, http.StatusBadRequest, err.Error())
 	case errors.Is(err, envelope.ErrIntegrity):
 		writeErr(w, r, http.StatusInternalServerError, "job record corrupt on disk")
 	default:
@@ -140,6 +161,17 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
+	for col, hint := range req.Hints {
+		if !semantic.KnownDomain(hint) {
+			writeErr(w, r, http.StatusBadRequest,
+				fmt.Sprintf("unknown domain hint %q for column %q", hint, col))
+			return
+		}
+	}
+	if req.Database != nil {
+		s.handleJobSubmitDB(w, r, &req)
+		return
+	}
 	if len(req.Columns) == 0 {
 		writeErr(w, r, http.StatusBadRequest, "columns is empty")
 		return
@@ -153,7 +185,43 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("table has %d values, at most %d per job", total, s.MaxTableValues))
 		return
 	}
-	st, err := s.Jobs.Submit(r.Context(), req.Columns, req.MinConfidence)
+	st, err := s.Jobs.SubmitTable(r.Context(), req.Columns, req.Hints, req.MinConfidence)
+	if err != nil {
+		writeJobErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobStatusFrom(st))
+}
+
+// handleJobSubmitDB admits a whole-database audit. The capability is off
+// by default — a DSN reaches out of the process, so operators opt in with
+// -db-audit — and the submission introspects the database synchronously,
+// failing fast on unreachable DSNs or bad table filters.
+func (s *Server) handleJobSubmitDB(w http.ResponseWriter, r *http.Request, req *jobSubmitRequest) {
+	if !s.AllowDBAudit {
+		writeErr(w, r, http.StatusForbidden,
+			"database audits disabled (start the server with -db-audit)")
+		return
+	}
+	if len(req.Columns) > 0 {
+		writeErr(w, r, http.StatusBadRequest, "columns and database are mutually exclusive")
+		return
+	}
+	if len(req.Hints) > 0 {
+		writeErr(w, r, http.StatusBadRequest, "database submissions derive hints from the schema; hints is not accepted")
+		return
+	}
+	if req.Database.DSN == "" {
+		writeErr(w, r, http.StatusBadRequest, "database.dsn is empty")
+		return
+	}
+	st, err := s.Jobs.SubmitDB(r.Context(), jobs.DBRequest{
+		Driver:        req.Database.Driver,
+		DSN:           req.Database.DSN,
+		Tables:        req.Database.Tables,
+		MinConfidence: req.MinConfidence,
+		MaxValues:     s.MaxTableValues,
+	})
 	if err != nil {
 		writeJobErr(w, r, err)
 		return

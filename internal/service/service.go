@@ -149,6 +149,10 @@ type Server struct {
 	// Jobs, when set, mounts the asynchronous batch-audit API under
 	// /v1/jobs. Configure it before the first Handler call.
 	Jobs *jobs.Manager
+	// AllowDBAudit permits whole-database audit submissions (the database
+	// variant of POST /v1/jobs). Off by default: a submitted DSN makes
+	// the server dial out, so operators opt in explicitly (-db-audit).
+	AllowDBAudit bool
 
 	// adm is the tiered admission controller built by Handler; tests reach
 	// it to observe the adaptive limit.
